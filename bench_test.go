@@ -1,0 +1,206 @@
+// Benchmarks regenerating the paper's evaluation. One benchmark per table
+// or in-text experiment; each runs the relevant engines on a scaled suite
+// circuit (scale keeps a -bench=. run in the minutes range — use
+// cmd/kbench -scale 1 for the published circuit sizes).
+package placement_test
+
+import (
+	"testing"
+
+	placement "repro"
+	"repro/internal/anneal"
+	"repro/internal/bench"
+	"repro/internal/gordian"
+	"repro/internal/legalize"
+	"repro/internal/place"
+	"repro/internal/timing"
+)
+
+const benchScale = 0.08
+
+// benchCircuit generates one suite circuit at the benchmark scale.
+func benchCircuit(name string) *placement.Netlist {
+	c := placement.SuiteCircuit{}
+	for _, s := range placement.MCNCSuite() {
+		if s.Name == name {
+			c = s
+		}
+	}
+	return placement.GenerateSuite(c, benchScale, 1998)
+}
+
+// BenchmarkTable1 regenerates Table 1's engine runs: every iteration places
+// one suite circuit with each engine (the table's columns).
+func BenchmarkTable1(b *testing.B) {
+	for _, circuit := range []string{"fract", "primary1", "biomed"} {
+		base := benchCircuit(circuit)
+		b.Run(circuit+"/kraftwerk", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				nl := base.Clone()
+				if _, err := place.Global(nl, place.Config{}); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := legalize.Legalize(nl, legalize.Options{}); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(nl.HPWL(), "hpwl")
+			}
+		})
+		b.Run(circuit+"/gordian", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				nl := base.Clone()
+				if _, err := gordian.Place(nl, gordian.Config{}); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := legalize.Legalize(nl, legalize.Options{}); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(nl.HPWL(), "hpwl")
+			}
+		})
+		b.Run(circuit+"/anneal-med", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				nl := base.Clone()
+				if _, err := anneal.Place(nl, anneal.Config{Seed: int64(i)}); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(nl.HPWL(), "hpwl")
+			}
+		})
+		b.Run(circuit+"/anneal-high", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				nl := base.Clone()
+				if _, err := anneal.Place(nl, anneal.Config{Effort: anneal.High, Seed: int64(i)}); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(nl.HPWL(), "hpwl")
+			}
+		})
+	}
+}
+
+// BenchmarkTable2 regenerates the Table 2 comparison (it derives from the
+// same engine runs as Table 1, via the harness).
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.RunTable1(bench.Options{Scale: benchScale, Circuits: []string{"fract"}})
+		t2 := bench.Table2From(rows)
+		if len(t2) != 1 {
+			b.Fatal("missing comparison row")
+		}
+		b.ReportMetric(t2[0].ImpGord, "impGord%")
+	}
+}
+
+// BenchmarkTable3 regenerates one timing circuit's Table 3 row: the three
+// timing-driven methods.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.RunTable3(bench.Options{Scale: benchScale, Circuits: []string{"struct"}})
+		if len(rows) != 1 {
+			b.Fatal("missing timing row")
+		}
+		b.ReportMetric(rows[0].Ours.With, "ours-ns")
+	}
+}
+
+// BenchmarkTable4 regenerates the exploitation comparison of Table 4.
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := bench.RunTable3(bench.Options{Scale: benchScale, Circuits: []string{"fract"}})
+		t4 := bench.Table4From(rows)
+		if len(t4) != 1 {
+			b.Fatal("missing exploitation row")
+		}
+		b.ReportMetric(t4[0].ExpOurs, "ours-expl%")
+	}
+}
+
+// BenchmarkFastVsStandard regenerates experiment E5 (§6.1): K=1.0 versus
+// K=0.2.
+func BenchmarkFastVsStandard(b *testing.B) {
+	base := benchCircuit("biomed")
+	b.Run("standard", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			nl := base.Clone()
+			if _, err := place.Global(nl, place.Config{K: 0.2}); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(nl.HPWL(), "hpwl")
+		}
+	})
+	b.Run("fast", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			nl := base.Clone()
+			if _, err := place.Global(nl, place.Config{K: 1.0}); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(nl.HPWL(), "hpwl")
+		}
+	})
+}
+
+// BenchmarkTradeoff regenerates experiment E6 (§5): the two-phase
+// meet-timing-requirements flow with its tradeoff curve.
+func BenchmarkTradeoff(b *testing.B) {
+	base := benchCircuit("struct")
+	params := timing.Calibrated(base)
+	for i := 0; i < b.N; i++ {
+		nl := base.Clone()
+		probe := nl.Clone()
+		if _, err := place.Global(probe, place.Config{}); err != nil {
+			b.Fatal(err)
+		}
+		unopt := timing.NewAnalyzer(probe, params).Analyze().MaxDelay
+		req := unopt * 0.95
+		res, err := timing.MeetRequirement(nl, place.Config{}, params, req, 60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(res.Curve)), "curve-points")
+	}
+}
+
+// Micro-benchmarks of the core machinery.
+
+func BenchmarkPlacementTransformation(b *testing.B) {
+	nl := benchCircuit("biomed")
+	p := place.New(nl, place.Config{})
+	if err := p.Initialize(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLegalize(b *testing.B) {
+	nl := benchCircuit("biomed")
+	if _, err := place.Global(nl, place.Config{}); err != nil {
+		b.Fatal(err)
+	}
+	snap := nl.Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nl.Restore(snap)
+		if _, err := legalize.Legalize(nl, legalize.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTimingAnalysis(b *testing.B) {
+	nl := benchCircuit("biomed")
+	placement.ScatterRandom(nl, 1)
+	a := timing.NewAnalyzer(nl, timing.Calibrated(nl))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := a.Analyze()
+		if rep.MaxDelay <= 0 {
+			b.Fatal("no delay")
+		}
+	}
+}

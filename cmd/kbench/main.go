@@ -1,0 +1,126 @@
+// Command kbench regenerates the paper's evaluation tables and experiments.
+//
+//	kbench -table 1            # Table 1 (wire length + CPU, all engines)
+//	kbench -table 2            # Table 2 (relative comparison; runs Table 1)
+//	kbench -table 3            # Table 3 (timing results)
+//	kbench -table 4            # Table 4 (exploitation; runs Table 3)
+//	kbench -exp fast           # §6.1 fast-vs-standard mode experiment
+//	kbench -exp tradeoff       # §5 timing/area tradeoff curve
+//	kbench -all                # everything
+//
+// The suite is scaled by -scale (default 0.12) so a full run finishes in
+// minutes; -scale 1 reproduces the published circuit sizes (hours).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("kbench: ")
+
+	var (
+		table    = flag.Int("table", 0, "paper table to regenerate (1-4)")
+		exp      = flag.String("exp", "", "experiment: fast, tradeoff, ablation, scaling")
+		all      = flag.Bool("all", false, "run every table and experiment")
+		scale    = flag.Float64("scale", 0.12, "suite scale factor (1.0 = published sizes)")
+		seed     = flag.Int64("seed", 1998, "generation seed")
+		circuits = flag.String("circuits", "", "comma-separated circuit filter (e.g. fract,struct)")
+		quiet    = flag.Bool("q", false, "suppress per-engine progress lines")
+	)
+	flag.Parse()
+
+	opts := bench.Options{Scale: *scale, Seed: *seed}
+	if *circuits != "" {
+		opts.Circuits = splitComma(*circuits)
+	}
+	if !*quiet {
+		opts.Progress = os.Stderr
+	}
+
+	ran := false
+	if *all || *table == 1 || *table == 2 {
+		rows := bench.RunTable1(opts)
+		if *all || *table == 1 {
+			bench.PrintTable1(os.Stdout, rows)
+			fmt.Println()
+		}
+		if *all || *table == 2 {
+			bench.PrintTable2(os.Stdout, bench.Table2From(rows))
+			fmt.Println()
+		}
+		ran = true
+	}
+	if *all || *table == 3 || *table == 4 {
+		rows := bench.RunTable3(opts)
+		if *all || *table == 3 {
+			bench.PrintTable3(os.Stdout, rows)
+			fmt.Println()
+		}
+		if *all || *table == 4 {
+			bench.PrintTable4(os.Stdout, bench.Table4From(rows))
+			fmt.Println()
+		}
+		ran = true
+	}
+	if *all || *exp == "fast" {
+		bench.PrintFast(os.Stdout, bench.RunFastVsStandard(opts))
+		fmt.Println()
+		ran = true
+	}
+	if *all || *exp == "ablation" {
+		circuit := "primary2"
+		if len(opts.Circuits) > 0 {
+			circuit = opts.Circuits[0]
+		}
+		rows, err := bench.RunAblation(opts, circuit)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bench.PrintAblation(os.Stdout, circuit, rows)
+		fmt.Println()
+		ran = true
+	}
+	if *all || *exp == "scaling" {
+		bench.PrintScaling(os.Stdout, bench.RunScaling(opts, nil))
+		fmt.Println()
+		ran = true
+	}
+	if *all || *exp == "tradeoff" {
+		circuit := "struct"
+		if len(opts.Circuits) > 0 {
+			circuit = opts.Circuits[0]
+		}
+		res, err := bench.RunTradeoff(opts, circuit, 0.15)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bench.PrintTradeoff(os.Stdout, res)
+		fmt.Println()
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func splitComma(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

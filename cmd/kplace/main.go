@@ -1,0 +1,148 @@
+// Command kplace places a netlist with any of the implemented engines.
+//
+//	kplace -in circuit.nl -out placed.nl [-engine kraftwerk|gordian|anneal]
+//	       [-k 0.2] [-timing] [-legalize] [-plot]
+//
+// With -gen cells:nets:rows a synthetic circuit is generated instead of
+// reading -in.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/anneal"
+	"repro/internal/gordian"
+	"repro/internal/legalize"
+	"repro/internal/netgen"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/timing"
+	"repro/internal/visual"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("kplace: ")
+
+	var (
+		in      = flag.String("in", "", "input netlist file (text interchange format)")
+		aux     = flag.String("bookshelf", "", "input Bookshelf .aux file instead of -in")
+		out     = flag.String("out", "", "output netlist file with placement (default: stdout summary only)")
+		gen     = flag.String("gen", "", "generate a synthetic circuit instead: cells:nets:rows")
+		seed    = flag.Int64("seed", 1, "seed for generation and stochastic engines")
+		engine  = flag.String("engine", "kraftwerk", "placement engine: kraftwerk, gordian, anneal")
+		k       = flag.Float64("k", 0.2, "Kraftwerk speed parameter K (0.2 standard, 1.0 fast)")
+		doTime  = flag.Bool("timing", false, "timing-driven placement (kraftwerk engine)")
+		legal   = flag.Bool("legalize", true, "run legalization/detailed placement afterwards")
+		plot    = flag.Bool("plot", false, "print an ASCII plot of the result")
+		maxIter = flag.Int("maxiter", 0, "iteration cap (0 = default)")
+	)
+	flag.Parse()
+
+	nl, err := load(*in, *aux, *gen, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := netlist.ComputeStats(nl)
+	fmt.Println(st)
+
+	start := time.Now()
+	switch *engine {
+	case "kraftwerk":
+		cfg := place.Config{K: *k, MaxIter: *maxIter}
+		if *doTime {
+			params := timing.Calibrated(nl)
+			res, err := timing.PlaceDriven(nl, cfg, params, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("timing: %.3g ns -> %.3g ns (lower bound %.3g ns, exploitation %.0f%%)\n",
+				res.Before*1e9, res.After*1e9, res.LowerBound*1e9, 100*res.Exploitation())
+			timing.WriteReport(os.Stdout, nl, params, timing.NewAnalyzer(nl, params).Analyze())
+		} else {
+			res, err := place.Global(nl, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("global: %d iterations (%s), overflow %.3f\n",
+				res.Iterations, res.StopReason, res.Overflow)
+		}
+	case "gordian":
+		res, err := gordian.Place(nl, gordian.Config{Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("gordian: %d levels, %d regions\n", res.Levels, res.Regions)
+	case "anneal":
+		res, err := anneal.Place(nl, anneal.Config{Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("anneal: %d stages, %d/%d moves accepted\n",
+			res.Stages, res.Accepted, res.Moves)
+	default:
+		log.Fatalf("unknown engine %q", *engine)
+	}
+
+	if *legal && len(nl.Region.Rows) > 0 {
+		lres, err := legalize.Legalize(nl, legalize.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("legalized: %d improving swaps, max displacement %.2f\n",
+			lres.Swaps, lres.MaxDisp)
+	}
+	fmt.Printf("HPWL %.1f units, overlap %.2f, %.2fs\n",
+		nl.HPWL(), nl.OverlapArea(), time.Since(start).Seconds())
+
+	if *plot {
+		visual.Plot(os.Stdout, nl, 100, 24)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := netlist.Write(f, nl); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+func load(in, aux, gen string, seed int64) (*netlist.Netlist, error) {
+	switch {
+	case aux != "":
+		return netlist.LoadBookshelf(aux)
+	case gen != "":
+		parts := strings.Split(gen, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("-gen wants cells:nets:rows, got %q", gen)
+		}
+		cells, err1 := strconv.Atoi(parts[0])
+		nets, err2 := strconv.Atoi(parts[1])
+		rows, err3 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("-gen wants integers, got %q", gen)
+		}
+		return netgen.Generate(netgen.Config{
+			Name: "generated", Cells: cells, Nets: nets, Rows: rows, Seed: seed,
+		}), nil
+	case in != "":
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return netlist.Read(f)
+	default:
+		return nil, fmt.Errorf("need -in FILE, -bookshelf FILE.aux, or -gen cells:nets:rows")
+	}
+}

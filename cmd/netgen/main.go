@@ -1,0 +1,76 @@
+// Command netgen emits synthetic benchmark circuits in the text netlist
+// format.
+//
+//	netgen -circuit primary1 -scale 0.5 > primary1.nl   # suite circuit
+//	netgen -cells 1000 -nets 1300 -rows 16 > custom.nl  # custom circuit
+//	netgen -list                                        # show the suite
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/netgen"
+	"repro/internal/netlist"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("netgen: ")
+
+	var (
+		list    = flag.Bool("list", false, "list the MCNC-suite circuit definitions")
+		circuit = flag.String("circuit", "", "generate this suite circuit (fract ... avq.large)")
+		scale   = flag.Float64("scale", 1.0, "suite scale factor")
+		cells   = flag.Int("cells", 0, "custom circuit: movable cell count")
+		nets    = flag.Int("nets", 0, "custom circuit: net count")
+		rows    = flag.Int("rows", 0, "custom circuit: row count")
+		blocks  = flag.Int("blocks", 0, "custom circuit: macro block count")
+		seed    = flag.Int64("seed", 1, "generation seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Printf("%-10s %7s %7s %5s %5s %s\n", "circuit", "#cells", "#nets", "#rows", "#pads", "timing")
+		for _, c := range netgen.MCNCSuite {
+			t := ""
+			if c.TimingBench {
+				t = "yes"
+			}
+			fmt.Printf("%-10s %7d %7d %5d %5d %s\n", c.Name, c.Cells, c.Nets, c.Rows, c.Pads, t)
+		}
+	case *circuit != "":
+		c := netgen.SuiteCircuit(*circuit)
+		if c == nil {
+			log.Fatalf("unknown suite circuit %q (try -list)", *circuit)
+		}
+		nl := netgen.GenerateSuite(*c, *scale, *seed)
+		if err := netlist.Write(os.Stdout, nl); err != nil {
+			log.Fatal(err)
+		}
+	case *cells > 0:
+		if *nets <= 0 {
+			*nets = *cells + *cells/3
+		}
+		if *rows <= 0 {
+			*rows = 8
+		}
+		nl := netgen.Generate(netgen.Config{
+			Name:   "custom",
+			Cells:  *cells,
+			Nets:   *nets,
+			Rows:   *rows,
+			Blocks: *blocks,
+			Seed:   *seed,
+		})
+		if err := netlist.Write(os.Stdout, nl); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

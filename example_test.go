@@ -1,0 +1,66 @@
+package placement_test
+
+import (
+	"fmt"
+
+	placement "repro"
+)
+
+// ExampleGlobal places a tiny chain and reports that the flow produced a
+// legal placement.
+func ExampleGlobal() {
+	b := placement.NewBuilder("example", placement.NewRegion(4, 1, 20))
+	b.AddPad("in", placement.Pt(0, 2))
+	b.AddPad("out", placement.Pt(20, 2))
+	for i := 0; i < 10; i++ {
+		b.AddCell(fmt.Sprintf("u%d", i), 1, 1)
+	}
+	b.Connect("n_in", "in", "u0")
+	for i := 0; i+1 < 10; i++ {
+		b.Connect(fmt.Sprintf("n%d", i), fmt.Sprintf("u%d", i), fmt.Sprintf("u%d", i+1))
+	}
+	b.Connect("n_out", "u9", "out")
+	nl, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+
+	if _, err := placement.Global(nl, placement.Config{}); err != nil {
+		panic(err)
+	}
+	if _, err := placement.Legalize(nl, placement.LegalizeOptions{}); err != nil {
+		panic(err)
+	}
+	fmt.Printf("legal: %v\n", nl.OverlapArea() < 1e-9)
+	// Output: legal: true
+}
+
+// ExampleComputeStats shows the suite-circuit generator and its
+// statistics.
+func ExampleComputeStats() {
+	suite := placement.MCNCSuite()
+	nl := placement.GenerateSuite(suite[0], 1.0, 7) // fract at full scale
+	s := placement.ComputeStats(nl)
+	fmt.Printf("%s: %d cells, %d nets, %d rows\n", s.Name, s.Cells, s.Nets, s.Rows)
+	// Output: fract: 125 cells, 147 nets, 6 rows
+}
+
+// ExampleAnalyzeTiming runs a longest-path analysis on a placed design.
+func ExampleAnalyzeTiming() {
+	b := placement.NewBuilder("t", placement.NewRegion(1, 1, 10))
+	b.AddPad("in", placement.Pt(0, 0.5))
+	b.AddPad("out", placement.Pt(10, 0.5))
+	b.AddCell("g", 1, 1)
+	b.SetCellTiming("g", 2e-9, false)
+	b.Connect("n1", "in", "g")
+	b.Connect("n2", "g", "out")
+	nl, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	nl.Cells[2].Pos = placement.Pt(5, 0.5)
+
+	rep := placement.AnalyzeTiming(nl, placement.DefaultTimingParams())
+	fmt.Printf("gate-dominated: %v\n", rep.MaxDelay >= 2e-9)
+	// Output: gate-dominated: true
+}

@@ -1,0 +1,169 @@
+package anneal
+
+import (
+	"testing"
+
+	"repro/internal/netgen"
+	"repro/internal/netlist"
+	"repro/internal/timing"
+)
+
+func circuit(t *testing.T, cells int, seed int64) *netlist.Netlist {
+	t.Helper()
+	return netgen.Generate(netgen.Config{
+		Name: "a", Cells: cells, Nets: cells + cells/3, Rows: 8, Seed: seed,
+	})
+}
+
+func TestPlaceImprovesOverRandom(t *testing.T) {
+	nl := circuit(t, 200, 51)
+	netgen.ScatterRandom(nl, 7)
+	random := nl.HPWL()
+	res, err := Place(nl, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HPWL >= random {
+		t.Errorf("annealed HPWL %v not below random %v", res.HPWL, random)
+	}
+	if res.Stages < 5 || res.Moves == 0 {
+		t.Errorf("suspicious schedule: %+v", res)
+	}
+}
+
+func TestPlaceIsOverlapFreeOnSites(t *testing.T) {
+	nl := circuit(t, 150, 52)
+	if _, err := Place(nl, Config{Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[[2]float64]int{}
+	for i := range nl.Cells {
+		if nl.Cells[i].Fixed {
+			continue
+		}
+		key := [2]float64{nl.Cells[i].Pos.X, nl.Cells[i].Pos.Y}
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("cells %d and %d share site %v", prev, i, key)
+		}
+		seen[key] = i
+		if !nl.Region.Outline.Contains(nl.Cells[i].Pos) {
+			t.Fatalf("cell %d at %v outside region", i, nl.Cells[i].Pos)
+		}
+	}
+}
+
+func TestHighEffortBeatsMedium(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full annealing runs")
+	}
+	run := func(e Effort) float64 {
+		nl := circuit(t, 300, 53)
+		res, err := Place(nl, Config{Effort: e, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.HPWL
+	}
+	med := run(Medium)
+	high := run(High)
+	// High effort explores far more moves; it should not be clearly worse.
+	if high > med*1.05 {
+		t.Errorf("high effort HPWL %v worse than medium %v", high, med)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	run := func() float64 {
+		nl := circuit(t, 120, 54)
+		res, err := Place(nl, Config{Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.HPWL
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("non-deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestWeightedCostRespondsToWeights(t *testing.T) {
+	// Heavily weight one net: the annealer should make it shorter than the
+	// unweighted run does.
+	pick := 3
+	run := func(weighted bool) float64 {
+		nl := circuit(t, 150, 55)
+		if weighted {
+			nl.Nets[pick].Weight = 50
+		}
+		if _, err := Place(nl, Config{Weighted: weighted, Seed: 4}); err != nil {
+			t.Fatal(err)
+		}
+		return nl.NetHPWL(pick)
+	}
+	plain := run(false)
+	weighted := run(true)
+	if weighted >= plain {
+		t.Errorf("weighted run net length %v not below plain %v", weighted, plain)
+	}
+}
+
+func TestBeforeStageHookRuns(t *testing.T) {
+	nl := circuit(t, 80, 56)
+	stages := 0
+	_, err := Place(nl, Config{Seed: 5, BeforeStage: func(stage int, nl *netlist.Netlist) {
+		stages++
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stages == 0 {
+		t.Error("BeforeStage never ran")
+	}
+}
+
+func TestTimingWeightedAnnealImprovesDelay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full annealing runs")
+	}
+	params := timing.DefaultParams()
+	run := func(timed bool) float64 {
+		nl := circuit(t, 250, 57)
+		cfg := Config{Seed: 6, Weighted: timed}
+		if timed {
+			analyzer := timing.NewAnalyzer(nl, params)
+			weighter := timing.NewWeighter(nl)
+			cfg.BeforeStage = func(stage int, nl *netlist.Netlist) {
+				weighter.Update(nl, analyzer.Analyze())
+			}
+		}
+		if _, err := Place(nl, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return timing.NewAnalyzer(nl, params).Analyze().MaxDelay
+	}
+	plain := run(false)
+	timed := run(true)
+	if timed > plain*1.02 {
+		t.Errorf("timing-weighted anneal delay %v worse than plain %v", timed, plain)
+	}
+}
+
+func TestFloorplanRegionWithoutRows(t *testing.T) {
+	nl := circuit(t, 100, 58)
+	nl.Region.Rows = nil // row-less outline
+	if _, err := Place(nl, Config{Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range nl.Cells {
+		if !nl.Cells[i].Fixed && !nl.Region.Outline.Contains(nl.Cells[i].Pos) {
+			t.Fatalf("cell %d outside region", i)
+		}
+	}
+}
+
+func TestTinyDesign(t *testing.T) {
+	nl := circuit(t, 2, 59)
+	if _, err := Place(nl, Config{Seed: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

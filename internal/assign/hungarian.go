@@ -1,0 +1,109 @@
+// Package assign solves the linear assignment problem with the Hungarian
+// algorithm (Jonker-style O(n³) shortest augmenting paths). The detailed
+// placer uses it for independent-set matching: reassigning a group of
+// interchangeable cells to their candidate positions at exactly minimal
+// total cost, the optimization core of network-flow final placers like
+// Domino [17].
+package assign
+
+import "math"
+
+// Solve returns, for the square cost matrix cost[i][j] (cost of assigning
+// row i to column j), the column assigned to each row, minimizing the total
+// cost. All rows are assigned. Infinite costs mark forbidden pairs; if no
+// perfect finite matching exists the result contains -1 entries.
+func Solve(cost [][]float64) []int {
+	n := len(cost)
+	if n == 0 {
+		return nil
+	}
+	// Jonker–Volgenant style: potentials u, v; matchCol[j] = row matched
+	// to column j. 1-indexed internals with a virtual column 0.
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	matchCol := make([]int, n+1)
+	for j := range matchCol {
+		matchCol[j] = 0
+	}
+	way := make([]int, n+1)
+
+	for i := 1; i <= n; i++ {
+		matchCol[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := range minv {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := matchCol[j0]
+			delta := math.Inf(1)
+			j1 := -1
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			if j1 < 0 || math.IsInf(delta, 1) {
+				// No augmenting path with finite cost: the remaining rows
+				// cannot be assigned.
+				return partialResult(matchCol, n)
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[matchCol[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if matchCol[j0] == 0 {
+				break
+			}
+		}
+		// Augment along the path.
+		for j0 != 0 {
+			j1 := way[j0]
+			matchCol[j0] = matchCol[j1]
+			j0 = j1
+		}
+	}
+	return partialResult(matchCol, n)
+}
+
+func partialResult(matchCol []int, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = -1
+	}
+	for j := 1; j <= n; j++ {
+		if r := matchCol[j]; r >= 1 && r <= n {
+			out[r-1] = j - 1
+		}
+	}
+	return out
+}
+
+// Cost sums the matrix cost of an assignment (math.Inf(1) if any row is
+// unassigned or forbidden).
+func Cost(cost [][]float64, assignment []int) float64 {
+	var s float64
+	for i, j := range assignment {
+		if j < 0 {
+			return math.Inf(1)
+		}
+		s += cost[i][j]
+	}
+	return s
+}

@@ -1,0 +1,15 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+func TestSmokeTable1Fract(t *testing.T) {
+	rows := RunTable1(Options{Scale: 1, Circuits: []string{"fract", "primary1"}, Progress: os.Stderr})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	PrintTable1(os.Stderr, rows)
+	PrintTable2(os.Stderr, Table2From(rows))
+}

@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/netgen"
+	"repro/internal/place"
+	"repro/internal/timing"
+)
+
+// FastRow is one circuit of experiment E5 (§6.1 prose): fast mode (K=1.0)
+// versus standard mode (K=0.2).
+type FastRow struct {
+	Circuit string
+
+	StdWL, StdCPU   float64
+	FastWL, FastCPU float64
+	// WLIncrease is the fast-mode wire-length increase in percent (paper:
+	// ≈6 % on average).
+	WLIncrease float64
+	// SpeedUp is standard CPU / fast CPU (paper: ≈3×).
+	SpeedUp float64
+}
+
+// RunFastVsStandard executes E5 over the (scaled) suite.
+func RunFastVsStandard(opts Options) []FastRow {
+	opts.setDefaults()
+	var rows []FastRow
+	for _, c := range netgen.MCNCSuite {
+		if !opts.wants(c.Name) {
+			continue
+		}
+		base := netgen.GenerateSuite(c, opts.Scale, opts.Seed)
+
+		std := runKraftwerk(base, place.Config{K: 0.2})
+		fast := runKraftwerk(base, place.Config{K: 1.0})
+		opts.logf("%-10s std %.4g m %.2fs | fast %.4g m %.2fs\n",
+			c.Name, std.WL, std.CPU, fast.WL, fast.CPU)
+
+		row := FastRow{
+			Circuit: c.Name,
+			StdWL:   std.WL, StdCPU: std.CPU,
+			FastWL: fast.WL, FastCPU: fast.CPU,
+		}
+		if std.WL > 0 {
+			row.WLIncrease = 100 * (fast.WL - std.WL) / std.WL
+		}
+		if fast.CPU > 0 {
+			row.SpeedUp = std.CPU / fast.CPU
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// PrintFast renders E5 with an average row.
+func PrintFast(w io.Writer, rows []FastRow) {
+	fmt.Fprintln(w, "E5 (§6.1): Fast mode (K=1.0) vs standard mode (K=0.2)")
+	fmt.Fprintf(w, "%-10s | %10s %7s | %10s %7s | %8s %8s\n",
+		"circuit", "std wl[m]", "cpu[s]", "fast wl[m]", "cpu[s]", "+wl[%]", "speedup")
+	var incSum, spSum float64
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s | %10.4g %7.2f | %10.4g %7.2f | %8.1f %8.2f\n",
+			r.Circuit, r.StdWL, r.StdCPU, r.FastWL, r.FastCPU, r.WLIncrease, r.SpeedUp)
+		incSum += r.WLIncrease
+		spSum += r.SpeedUp
+	}
+	if n := float64(len(rows)); n > 0 {
+		fmt.Fprintf(w, "%-10s | %10s %7s | %10s %7s | %8.1f %8.2f\n",
+			"average", "", "", "", "", incSum/n, spSum/n)
+	}
+}
+
+// TradeoffResult is experiment E6 (§5): the timing/area tradeoff curve
+// recorded while meeting a timing requirement.
+type TradeoffResult struct {
+	Circuit    string
+	Unopt      float64 // delay of the area-optimized placement (ns)
+	Target     float64 // requirement (ns)
+	Met        bool
+	Final      float64 // delay of the returned placement (ns)
+	HPWLStart  float64 // wire length at curve start (m)
+	HPWLFinal  float64 // wire length of the returned placement (m)
+	Curve      []timing.TradeoffPoint
+	CPUSeconds float64
+}
+
+// RunTradeoff executes E6 on one circuit: the requirement is set between
+// the unoptimized delay and the lower bound (fraction toward the bound).
+func RunTradeoff(opts Options, circuit string, fraction float64) (TradeoffResult, error) {
+	opts.setDefaults()
+	if fraction <= 0 || fraction >= 1 {
+		fraction = 0.3
+	}
+	c := netgen.SuiteCircuit(circuit)
+	if c == nil {
+		return TradeoffResult{}, fmt.Errorf("bench: unknown circuit %q", circuit)
+	}
+	nl := netgen.GenerateSuite(*c, opts.Scale, opts.Seed)
+	params := timing.Calibrated(nl)
+
+	// Probe the unoptimized delay to set a requirement.
+	probe := nl.Clone()
+	if _, err := place.Global(probe, place.Config{}); err != nil {
+		return TradeoffResult{}, err
+	}
+	unopt := timing.NewAnalyzer(probe, params).Analyze().MaxDelay
+	lb := timing.LowerBound(probe, params)
+	req := unopt - fraction*(unopt-lb)
+
+	start := time.Now()
+	res, err := timing.MeetRequirement(nl, place.Config{}, params, req, 0)
+	if err != nil {
+		return TradeoffResult{}, err
+	}
+	out := TradeoffResult{
+		Circuit:    circuit,
+		Unopt:      unopt * nsPerSecond,
+		Target:     req * nsPerSecond,
+		Met:        res.Met,
+		Final:      res.Final * nsPerSecond,
+		Curve:      res.Curve,
+		HPWLFinal:  res.HPWL * metersPerUnit,
+		CPUSeconds: time.Since(start).Seconds(),
+	}
+	if len(res.Curve) > 0 {
+		out.HPWLStart = res.Curve[0].HPWL * metersPerUnit
+	}
+	return out, nil
+}
+
+// PrintTradeoff renders the E6 curve.
+func PrintTradeoff(w io.Writer, r TradeoffResult) {
+	fmt.Fprintf(w, "E6 (§5): timing/area tradeoff on %s — target %.2f ns (unoptimized %.2f ns)\n",
+		r.Circuit, r.Target, r.Unopt)
+	fmt.Fprintf(w, "%6s %12s %12s\n", "step", "wl [m]", "delay [ns]")
+	for _, p := range r.Curve {
+		fmt.Fprintf(w, "%6d %12.4g %12.2f\n", p.Step, p.HPWL*metersPerUnit, p.MaxDelay*nsPerSecond)
+	}
+	verdict := "NOT met"
+	if r.Met {
+		verdict = "met"
+	}
+	fmt.Fprintf(w, "requirement %s: final %.2f ns at %.4g m (started %.4g m), %.2fs\n",
+		verdict, r.Final, r.HPWLFinal, r.HPWLStart, r.CPUSeconds)
+}

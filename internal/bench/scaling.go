@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/legalize"
+	"repro/internal/netgen"
+	"repro/internal/place"
+)
+
+// ScaleRow is one design size of the scalability experiment: the paper's
+// floorplanning motivation ("larger designs placed in less time") turns on
+// near-linear growth of the placement cost with the cell count.
+type ScaleRow struct {
+	Cells      int
+	GlobalCPU  float64
+	FinalCPU   float64 // legalization + detailed improvement
+	Iterations int
+	WLPerCell  float64 // final HPWL per cell, a size-free quality proxy
+}
+
+// RunScaling places a geometric ladder of synthetic circuits with the
+// standard configuration and records runtime growth.
+func RunScaling(opts Options, sizes []int) []ScaleRow {
+	opts.setDefaults()
+	if len(sizes) == 0 {
+		sizes = []int{250, 500, 1000, 2000, 4000}
+	}
+	var rows []ScaleRow
+	for _, n := range sizes {
+		nl := netgen.Generate(netgen.Config{
+			Name:  fmt.Sprintf("scale-%d", n),
+			Cells: n,
+			Nets:  n + n/3,
+			Rows:  rowsFor(n),
+			Seed:  opts.Seed,
+		})
+		start := time.Now()
+		res, err := place.Global(nl, place.Config{})
+		if err != nil {
+			continue
+		}
+		globalCPU := time.Since(start).Seconds()
+		startF := time.Now()
+		if _, err := legalize.Legalize(nl, legalize.Options{}); err != nil {
+			continue
+		}
+		row := ScaleRow{
+			Cells:      n,
+			GlobalCPU:  globalCPU,
+			FinalCPU:   time.Since(startF).Seconds(),
+			Iterations: res.Iterations,
+			WLPerCell:  nl.HPWL() / float64(n),
+		}
+		rows = append(rows, row)
+		opts.logf("scale %6d cells: global %.2fs + final %.2fs (%d iters)\n",
+			n, row.GlobalCPU, row.FinalCPU, row.Iterations)
+	}
+	return rows
+}
+
+func rowsFor(n int) int {
+	r := 4
+	for r*r*8 < n {
+		r *= 2
+	}
+	return r
+}
+
+// PrintScaling renders the ladder with growth factors between consecutive
+// sizes.
+func PrintScaling(w io.Writer, rows []ScaleRow) {
+	fmt.Fprintln(w, "E8: runtime scaling of the standard configuration")
+	fmt.Fprintf(w, "%8s | %9s %9s | %6s | %10s | %s\n",
+		"#cells", "global[s]", "final[s]", "iters", "wl/cell", "total growth vs size growth")
+	var prev *ScaleRow
+	for i := range rows {
+		r := &rows[i]
+		growth := ""
+		if prev != nil {
+			szG := float64(r.Cells) / float64(prev.Cells)
+			tG := (r.GlobalCPU + r.FinalCPU) / (prev.GlobalCPU + prev.FinalCPU + 1e-9)
+			growth = fmt.Sprintf("%.1fx time for %.1fx cells", tG, szG)
+		}
+		fmt.Fprintf(w, "%8d | %9.2f %9.2f | %6d | %10.3f | %s\n",
+			r.Cells, r.GlobalCPU, r.FinalCPU, r.Iterations, r.WLPerCell, growth)
+		prev = r
+	}
+}

@@ -1,0 +1,91 @@
+package gordian
+
+import (
+	"testing"
+
+	"repro/internal/netgen"
+	"repro/internal/netlist"
+)
+
+func TestPlaceSpreadsAndImproves(t *testing.T) {
+	nl := netgen.Generate(netgen.Config{Name: "g", Cells: 400, Nets: 520, Rows: 10, Seed: 41})
+	netgen.ScatterRandom(nl, 99)
+	randomHPWL := nl.HPWL()
+	res, err := Place(nl, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HPWL >= randomHPWL {
+		t.Errorf("gordian HPWL %v not below random %v", res.HPWL, randomHPWL)
+	}
+	if res.Levels < 2 {
+		t.Errorf("levels = %d, want recursion", res.Levels)
+	}
+	if res.Regions < 8 {
+		t.Errorf("regions = %d", res.Regions)
+	}
+	// All cells inside the region.
+	out := nl.Region.Outline
+	for i := range nl.Cells {
+		if !nl.Cells[i].Fixed && !out.Contains(nl.Cells[i].Pos) {
+			t.Fatalf("cell %d at %v outside region", i, nl.Cells[i].Pos)
+		}
+	}
+}
+
+func TestPlaceDistributesCells(t *testing.T) {
+	nl := netgen.Generate(netgen.Config{Name: "d", Cells: 400, Nets: 520, Rows: 10, Seed: 42})
+	if _, err := Place(nl, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	// Quarters of the region should all hold a reasonable share of cells.
+	out := nl.Region.Outline
+	mid := out.Center()
+	var q [4]int
+	total := 0
+	for i := range nl.Cells {
+		c := &nl.Cells[i]
+		if c.Fixed {
+			continue
+		}
+		total++
+		k := 0
+		if c.Pos.X > mid.X {
+			k |= 1
+		}
+		if c.Pos.Y > mid.Y {
+			k |= 2
+		}
+		q[k]++
+	}
+	for k, n := range q {
+		if n < total/10 {
+			t.Errorf("quadrant %d holds only %d/%d cells", k, n, total)
+		}
+	}
+}
+
+func TestPlaceSmallDesignNoRecursion(t *testing.T) {
+	nl := netgen.Generate(netgen.Config{Name: "s", Cells: 20, Nets: 25, Rows: 2, Seed: 43})
+	res, err := Place(nl, Config{MinRegionCells: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regions != 1 && res.Levels != 0 {
+		t.Errorf("small design: levels=%d regions=%d", res.Levels, res.Regions)
+	}
+}
+
+func TestPlaceDeterministic(t *testing.T) {
+	run := func() netlist.Placement {
+		nl := netgen.Generate(netgen.Config{Name: "det", Cells: 150, Nets: 200, Rows: 6, Seed: 44})
+		if _, err := Place(nl, Config{Seed: 3}); err != nil {
+			t.Fatal(err)
+		}
+		return nl.Snapshot()
+	}
+	a, b := run(), run()
+	if netlist.MaxDisplacement(a, b) != 0 {
+		t.Error("gordian not deterministic")
+	}
+}

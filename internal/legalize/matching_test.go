@@ -1,0 +1,96 @@
+package legalize
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+// crossedPairs builds two equal-width cell pairs placed so that their nets
+// cross: matching should uncross them.
+func crossedPairs(t *testing.T) (*netlist.Netlist, []*Segment) {
+	t.Helper()
+	b := netlist.NewBuilder("x", geom.NewRegion(1, 1, 40))
+	b.AddPad("pl", geom.Point{X: 0, Y: 0.5})
+	b.AddPad("pr", geom.Point{X: 40, Y: 0.5})
+	b.AddCell("a", 2, 1)
+	b.AddCell("c", 2, 1)
+	b.Connect("na", "pl", "a")
+	b.Connect("nc", "c", "pr")
+	nl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crossed: the left-connected cell sits right and vice versa.
+	nl.Cells[2].Pos = geom.Point{X: 30, Y: 0.5} // a (wants left)
+	nl.Cells[3].Pos = geom.Point{X: 10, Y: 0.5} // c (wants right)
+	seg := &Segment{Row: 0, Y: 0.5, X0: 0, X1: 40, cells: []int{2, 3}, used: 4}
+	return nl, []*Segment{seg}
+}
+
+func TestMatchingUncrossesPairs(t *testing.T) {
+	nl, segs := crossedPairs(t)
+	before := nl.HPWL()
+	moves := MatchingPass(nl, segs, 4)
+	if moves == 0 {
+		t.Fatal("matching found no improvement on crossed pairs")
+	}
+	if nl.HPWL() >= before {
+		t.Errorf("HPWL did not improve: %v -> %v", before, nl.HPWL())
+	}
+	if nl.Cells[2].Pos.X > nl.Cells[3].Pos.X {
+		t.Error("pairs still crossed")
+	}
+}
+
+func TestMatchingNeverWorsens(t *testing.T) {
+	nl, segs := crossedPairs(t)
+	// First pass improves; a second pass on the optimal state must be a
+	// no-op and never worsen.
+	MatchingPass(nl, segs, 4)
+	opt := nl.HPWL()
+	moves := MatchingPass(nl, segs, 4)
+	if moves != 0 {
+		t.Errorf("matching claims %d improvements at the optimum", moves)
+	}
+	if nl.HPWL() > opt+1e-9 {
+		t.Errorf("second pass worsened HPWL: %v -> %v", opt, nl.HPWL())
+	}
+}
+
+func TestMatchingKeepsWidthClasses(t *testing.T) {
+	// A wide and a narrow cell must not trade places even when crossed.
+	b := netlist.NewBuilder("w", geom.NewRegion(1, 1, 40))
+	b.AddPad("pl", geom.Point{X: 0, Y: 0.5})
+	b.AddPad("pr", geom.Point{X: 40, Y: 0.5})
+	b.AddCell("wide", 8, 1)
+	b.AddCell("narrow", 1, 1)
+	b.Connect("na", "pl", "wide")
+	b.Connect("nc", "narrow", "pr")
+	nl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl.Cells[2].Pos = geom.Point{X: 30, Y: 0.5}
+	nl.Cells[3].Pos = geom.Point{X: 10, Y: 0.5}
+	seg := &Segment{Row: 0, Y: 0.5, X0: 0, X1: 40, cells: []int{2, 3}, used: 9}
+	MatchingPass(nl, []*Segment{seg}, 4)
+	// Different width classes -> no exchange; positions unchanged.
+	if nl.Cells[2].Pos.X != 30 || nl.Cells[3].Pos.X != 10 {
+		t.Error("width classes were mixed")
+	}
+}
+
+func TestRebindSegments(t *testing.T) {
+	nl, segs := crossedPairs(t)
+	// Manually swap and rebind.
+	nl.Cells[2].Pos, nl.Cells[3].Pos = nl.Cells[3].Pos, nl.Cells[2].Pos
+	rebindSegments(nl, segs)
+	if len(segs[0].cells) != 2 {
+		t.Errorf("segment lost cells: %v", segs[0].cells)
+	}
+	if segs[0].used != 4 {
+		t.Errorf("used = %v", segs[0].used)
+	}
+}

@@ -1,0 +1,225 @@
+package netgen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestGenerateBasicShape(t *testing.T) {
+	nl := Generate(Config{Name: "g", Cells: 200, Nets: 260, Rows: 8, Pads: 16, Seed: 1})
+	if err := nl.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	s := netlist.ComputeStats(nl)
+	if s.Cells != 200 || s.Pads != 16 || s.Nets != 260 || s.Rows != 8 {
+		t.Errorf("stats = %+v", s)
+	}
+	if u := nl.Utilization(); math.Abs(u-0.8) > 0.02 {
+		t.Errorf("utilization = %v, want ~0.8", u)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Name: "d", Cells: 100, Nets: 120, Rows: 4, Pads: 8, Seed: 7}
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if a.HPWL() != b.HPWL() {
+		t.Error("generation not deterministic (HPWL differs)")
+	}
+	if len(a.Nets) != len(b.Nets) {
+		t.Error("net counts differ")
+	}
+	for i := range a.Nets {
+		if a.Nets[i].Degree() != b.Nets[i].Degree() {
+			t.Fatalf("net %d degree differs", i)
+		}
+	}
+}
+
+func TestGenerateSeedChangesCircuit(t *testing.T) {
+	a := Generate(Config{Name: "s", Cells: 100, Nets: 120, Rows: 4, Pads: 8, Seed: 1})
+	b := Generate(Config{Name: "s", Cells: 100, Nets: 120, Rows: 4, Pads: 8, Seed: 2})
+	same := true
+	for i := range a.Nets {
+		if a.Nets[i].Degree() != b.Nets[i].Degree() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical degree sequences")
+	}
+}
+
+func TestEveryMovableCellConnected(t *testing.T) {
+	nl := Generate(Config{Name: "conn", Cells: 500, Nets: 400, Rows: 8, Seed: 3})
+	used := make([]bool, len(nl.Cells))
+	for ni := range nl.Nets {
+		for _, p := range nl.Nets[ni].Pins {
+			used[p.Cell] = true
+		}
+	}
+	for i := range nl.Cells {
+		if !nl.Cells[i].Fixed && !used[i] {
+			t.Fatalf("cell %d isolated", i)
+		}
+	}
+}
+
+func TestPadsOnPerimeter(t *testing.T) {
+	nl := Generate(Config{Name: "pads", Cells: 50, Nets: 60, Rows: 4, Pads: 12, Seed: 4})
+	r := nl.Region.Outline
+	for i := range nl.Cells {
+		c := &nl.Cells[i]
+		if !c.Fixed {
+			continue
+		}
+		onEdge := c.Pos.X == r.Lo.X || c.Pos.X == r.Hi.X || c.Pos.Y == r.Lo.Y || c.Pos.Y == r.Hi.Y
+		if !onEdge {
+			t.Errorf("pad %q at %v not on perimeter %v", c.Name, c.Pos, r)
+		}
+	}
+}
+
+func TestDegreeDistributionHasTail(t *testing.T) {
+	nl := Generate(Config{Name: "deg", Cells: 5000, Nets: 8000, Rows: 20, Seed: 5})
+	twoPin, wide := 0, 0
+	for ni := range nl.Nets {
+		switch d := nl.Nets[ni].Degree(); {
+		case d <= 3:
+			twoPin++
+		case d > 60:
+			wide++
+		}
+	}
+	if float64(twoPin) < 0.5*float64(len(nl.Nets)) {
+		t.Errorf("only %d/%d nets are 2-3 pin", twoPin, len(nl.Nets))
+	}
+	if wide == 0 {
+		t.Error("no >60-pin nets generated; timing filter untestable")
+	}
+}
+
+func TestLocalityReducesSpan(t *testing.T) {
+	// Higher locality should give nets whose cell-index span is smaller.
+	span := func(loc float64) float64 {
+		nl := Generate(Config{Name: "loc", Cells: 2000, Nets: 3000, Rows: 10, Seed: 6, Locality: loc})
+		var total float64
+		for ni := range nl.Nets {
+			lo, hi := len(nl.Cells), 0
+			for _, p := range nl.Nets[ni].Pins {
+				if nl.Cells[p.Cell].Fixed {
+					continue
+				}
+				if p.Cell < lo {
+					lo = p.Cell
+				}
+				if p.Cell > hi {
+					hi = p.Cell
+				}
+			}
+			if hi > lo {
+				total += float64(hi - lo)
+			}
+		}
+		return total / float64(len(nl.Nets))
+	}
+	local := span(0.9)
+	global := span(0.2)
+	if local >= global {
+		t.Errorf("locality 0.9 span %.1f not below locality 0.2 span %.1f", local, global)
+	}
+}
+
+func TestGenerateWithBlocks(t *testing.T) {
+	nl := Generate(Config{Name: "fp", Cells: 300, Nets: 400, Rows: 12, Blocks: 5, Seed: 8})
+	if err := nl.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	blocks := 0
+	for i := range nl.Cells {
+		c := &nl.Cells[i]
+		if !c.Fixed && c.H > 1.5 {
+			blocks++
+		}
+	}
+	if blocks != 5 {
+		t.Errorf("found %d blocks, want 5", blocks)
+	}
+	if u := nl.Utilization(); math.Abs(u-0.8) > 0.02 {
+		t.Errorf("utilization with blocks = %v", u)
+	}
+}
+
+func TestSuiteDefinitions(t *testing.T) {
+	if len(MCNCSuite) != 9 {
+		t.Fatalf("suite has %d circuits, want 9", len(MCNCSuite))
+	}
+	timing := 0
+	for _, c := range MCNCSuite {
+		if c.Cells <= 0 || c.Nets <= 0 || c.Rows <= 0 {
+			t.Errorf("%s has bad counts", c.Name)
+		}
+		if c.TimingBench {
+			timing++
+		}
+	}
+	if timing != 5 {
+		t.Errorf("%d timing circuits, want 5 (Table 3)", timing)
+	}
+	if SuiteCircuit("fract") == nil || SuiteCircuit("ghost") != nil {
+		t.Error("SuiteCircuit lookup broken")
+	}
+}
+
+func TestGenerateSuiteScaled(t *testing.T) {
+	c := *SuiteCircuit("primary1")
+	nl := GenerateSuite(c, 0.1, 1)
+	s := netlist.ComputeStats(nl)
+	if s.Cells != 75 {
+		t.Errorf("scaled cells = %d, want 75", s.Cells)
+	}
+	if s.Rows < 2 || s.Rows > 16 {
+		t.Errorf("scaled rows = %d", s.Rows)
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Full scale reproduces published counts.
+	full := GenerateSuite(*SuiteCircuit("fract"), 1.0, 1)
+	fs := netlist.ComputeStats(full)
+	if fs.Cells != 125 || fs.Nets != 147 || fs.Rows != 6 {
+		t.Errorf("fract full-scale stats = %+v", fs)
+	}
+}
+
+func TestScatterRandom(t *testing.T) {
+	nl := Generate(Config{Name: "sc", Cells: 100, Nets: 120, Rows: 4, Seed: 9})
+	ScatterRandom(nl, 42)
+	r := nl.Region.Outline
+	distinct := map[float64]bool{}
+	for i := range nl.Cells {
+		c := &nl.Cells[i]
+		if c.Fixed {
+			continue
+		}
+		if !r.ContainsRect(c.Rect().Expand(-1e-9)) {
+			t.Fatalf("cell %d at %v outside region", i, c.Pos)
+		}
+		distinct[c.Pos.X] = true
+	}
+	if len(distinct) < 50 {
+		t.Errorf("scatter produced only %d distinct X positions", len(distinct))
+	}
+}
+
+func TestGenerateTooFewCellsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Generate(Config{Cells: 1, Nets: 1})
+}

@@ -1,0 +1,146 @@
+package netlist
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Builder assembles a Netlist incrementally with name-based lookup. It is
+// the intended construction path for examples and tests; generators that
+// know their indices can fill a Netlist directly.
+type Builder struct {
+	nl        *Netlist
+	cellIndex map[string]int
+	netIndex  map[string]int
+	err       error
+}
+
+// NewBuilder starts a netlist with the given name and placement region.
+func NewBuilder(name string, region geom.Region) *Builder {
+	return &Builder{
+		nl:        &Netlist{Name: name, Region: region},
+		cellIndex: map[string]int{},
+		netIndex:  map[string]int{},
+	}
+}
+
+// Err returns the first error recorded by any builder call.
+func (b *Builder) Err() error { return b.err }
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf(format, args...)
+	}
+}
+
+// AddCell adds a movable cell and returns its index.
+func (b *Builder) AddCell(name string, w, h float64) int {
+	return b.addCell(Cell{Name: name, W: w, H: h})
+}
+
+// AddBlock adds a movable macro block (a big cell). Kraftwerk treats blocks
+// and cells identically; the distinct entry point exists for readability.
+func (b *Builder) AddBlock(name string, w, h float64) int {
+	return b.addCell(Cell{Name: name, W: w, H: h})
+}
+
+// AddPad adds a fixed cell (an I/O pad) at the given center position.
+func (b *Builder) AddPad(name string, at geom.Point) int {
+	return b.addCell(Cell{Name: name, W: 0, H: 0, Fixed: true, Pos: at})
+}
+
+// AddFixedCell adds a fixed cell with a footprint, e.g. a pre-placed macro.
+func (b *Builder) AddFixedCell(name string, w, h float64, at geom.Point) int {
+	return b.addCell(Cell{Name: name, W: w, H: h, Fixed: true, Pos: at})
+}
+
+func (b *Builder) addCell(c Cell) int {
+	if _, dup := b.cellIndex[c.Name]; dup {
+		b.fail("builder: duplicate cell %q", c.Name)
+		return -1
+	}
+	idx := len(b.nl.Cells)
+	b.nl.Cells = append(b.nl.Cells, c)
+	b.cellIndex[c.Name] = idx
+	return idx
+}
+
+// SetCellTiming sets the intrinsic delay and sequential flag of a cell.
+func (b *Builder) SetCellTiming(name string, delay float64, seq bool) {
+	i, ok := b.cellIndex[name]
+	if !ok {
+		b.fail("builder: SetCellTiming: unknown cell %q", name)
+		return
+	}
+	b.nl.Cells[i].Delay = delay
+	b.nl.Cells[i].Seq = seq
+}
+
+// SetCellPower sets the power dissipation of a cell.
+func (b *Builder) SetCellPower(name string, power float64) {
+	i, ok := b.cellIndex[name]
+	if !ok {
+		b.fail("builder: SetCellPower: unknown cell %q", name)
+		return
+	}
+	b.nl.Cells[i].Power = power
+}
+
+// Connect adds a net connecting the named cells with center pins of
+// unspecified direction. The first named cell is treated as the driver.
+func (b *Builder) Connect(netName string, cellNames ...string) int {
+	pins := make([]Pin, 0, len(cellNames))
+	for i, cn := range cellNames {
+		ci, ok := b.cellIndex[cn]
+		if !ok {
+			b.fail("builder: Connect %q: unknown cell %q", netName, cn)
+			return -1
+		}
+		dir := Input
+		if i == 0 {
+			dir = Output
+		}
+		pins = append(pins, Pin{Cell: ci, Dir: dir})
+	}
+	return b.AddNet(netName, pins)
+}
+
+// AddNet adds a fully specified net and returns its index.
+func (b *Builder) AddNet(name string, pins []Pin) int {
+	if _, dup := b.netIndex[name]; dup {
+		b.fail("builder: duplicate net %q", name)
+		return -1
+	}
+	for _, p := range pins {
+		if p.Cell < 0 || p.Cell >= len(b.nl.Cells) {
+			b.fail("builder: net %q: pin cell index %d out of range", name, p.Cell)
+			return -1
+		}
+	}
+	idx := len(b.nl.Nets)
+	b.nl.Nets = append(b.nl.Nets, Net{Name: name, Pins: pins, Weight: 1})
+	b.netIndex[name] = idx
+	return idx
+}
+
+// Cell returns the index of a named cell, or -1.
+func (b *Builder) Cell(name string) int {
+	if i, ok := b.cellIndex[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Build validates and returns the netlist. The builder must not be used
+// afterwards.
+func (b *Builder) Build() (*Netlist, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	b.nl.Normalize()
+	if err := b.nl.Validate(); err != nil {
+		return nil, err
+	}
+	return b.nl, nil
+}

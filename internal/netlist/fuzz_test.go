@@ -1,0 +1,76 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead exercises the text-format parser: it must never panic, and any
+// netlist it accepts must be valid and round-trip losslessly.
+func FuzzRead(f *testing.F) {
+	f.Add("circuit x\nregion 10 4 4 1\ncell a 1 1\ncell b 2 1\nnet n a:out b:in\nplace a 3 2\n")
+	f.Add("region 5 5 0 0\ncell a 1 1\ncell b 1 1\nnet n a b\n")
+	f.Add("# only comments\n\n")
+	f.Add("cell a -1 -1\n")
+	f.Add("net n\n")
+	f.Add("region 10 4 4 1\ncell a 1 1 fixed 1 2 delay 1e-9 power 0.5 seq\ncell b 1 1\nnet n weight 2 a:out:0.5,0:1e-14 b\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		nl, err := Read(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if verr := nl.Validate(); verr != nil {
+			t.Fatalf("Read accepted an invalid netlist: %v\ninput: %q", verr, src)
+		}
+		var buf bytes.Buffer
+		if werr := Write(&buf, nl); werr != nil {
+			t.Fatalf("Write failed on accepted netlist: %v", werr)
+		}
+		again, rerr := Read(&buf)
+		if rerr != nil {
+			t.Fatalf("round trip rejected own output: %v\noutput: %q", rerr, buf.String())
+		}
+		if len(again.Cells) != len(nl.Cells) || len(again.Nets) != len(nl.Nets) {
+			t.Fatalf("round trip changed shape: %d/%d cells, %d/%d nets",
+				len(again.Cells), len(nl.Cells), len(again.Nets), len(nl.Nets))
+		}
+	})
+}
+
+// FuzzReadBookshelf exercises the Bookshelf parsers: no panics, and
+// accepted designs validate.
+func FuzzReadBookshelf(f *testing.F) {
+	f.Add(bsNodes, bsNets, bsPl, bsScl)
+	f.Add("UCLA nodes 1.0\nNumNodes : 1\n a 1 1\n", "UCLA nets 1.0\n", "", "")
+	f.Add("", "", "", "")
+	f.Add("a 1 1\nb 1 1\n", "NetDegree : 2\n a I\n b O\n", "a 0 0 : N\n", "")
+	f.Fuzz(func(t *testing.T, nodes, nets, pl, scl string) {
+		var plR, sclR *strings.Reader
+		if pl != "" {
+			plR = strings.NewReader(pl)
+		}
+		if scl != "" {
+			sclR = strings.NewReader(scl)
+		}
+		var plI, sclI = ioReaderOrNil(plR), ioReaderOrNil(sclR)
+		nl, err := ReadBookshelf("fuzz", strings.NewReader(nodes), strings.NewReader(nets), plI, sclI)
+		if err != nil {
+			return
+		}
+		if verr := nl.Validate(); verr != nil {
+			t.Fatalf("ReadBookshelf accepted an invalid netlist: %v", verr)
+		}
+	})
+}
+
+// ioReaderOrNil keeps a typed-nil *strings.Reader from becoming a non-nil
+// io.Reader interface.
+func ioReaderOrNil(r *strings.Reader) interface {
+	Read([]byte) (int, error)
+} {
+	if r == nil {
+		return nil
+	}
+	return r
+}

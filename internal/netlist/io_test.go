@@ -1,0 +1,150 @@
+package netlist
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	nl := tiny(t)
+	nl.Cells[2].Pos = geom.Point{X: 1.5, Y: 0.5}
+	nl.Cells[2].Delay = 2e-9
+	nl.Cells[3].Seq = true
+	nl.Cells[3].Power = 0.25
+	nl.Nets[1].Weight = 2.5
+	nl.Nets[1].Pins[0].Offset = geom.Point{X: 0.5, Y: -0.25}
+	nl.Nets[1].Pins[1].Cap = 1e-14
+
+	var buf bytes.Buffer
+	if err := Write(&buf, nl); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Name != "tiny" {
+		t.Errorf("name = %q", got.Name)
+	}
+	if len(got.Cells) != len(nl.Cells) || len(got.Nets) != len(nl.Nets) {
+		t.Fatalf("shape mismatch: %d/%d cells, %d/%d nets",
+			len(got.Cells), len(nl.Cells), len(got.Nets), len(nl.Nets))
+	}
+	if got.Cells[2].Pos != nl.Cells[2].Pos {
+		t.Errorf("placed position lost: %v", got.Cells[2].Pos)
+	}
+	if got.Cells[2].Delay != 2e-9 {
+		t.Errorf("delay lost: %v", got.Cells[2].Delay)
+	}
+	if !got.Cells[3].Seq || got.Cells[3].Power != 0.25 {
+		t.Errorf("seq/power lost: %+v", got.Cells[3])
+	}
+	if got.Nets[1].Weight != 2.5 {
+		t.Errorf("weight lost: %v", got.Nets[1].Weight)
+	}
+	if got.Nets[1].Pins[0].Offset != (geom.Point{X: 0.5, Y: -0.25}) {
+		t.Errorf("offset lost: %v", got.Nets[1].Pins[0].Offset)
+	}
+	if got.Nets[1].Pins[1].Cap != 1e-14 {
+		t.Errorf("cap lost: %v", got.Nets[1].Pins[1].Cap)
+	}
+	if math.Abs(got.Region.W()-10) > 1e-12 || len(got.Region.Rows) != 4 {
+		t.Errorf("region lost: %v rows=%d", got.Region.Outline, len(got.Region.Rows))
+	}
+	// Pin directions survive.
+	if got.Nets[0].Pins[0].Dir != Output || got.Nets[0].Pins[1].Dir != Input {
+		t.Error("pin directions lost")
+	}
+	// Fixed pads survive.
+	if !got.Cells[0].Fixed || got.Cells[0].Pos != (geom.Point{X: 0, Y: 2}) {
+		t.Errorf("pad lost: %+v", got.Cells[0])
+	}
+}
+
+func TestReadIgnoresCommentsAndBlanks(t *testing.T) {
+	src := `
+# a comment
+circuit demo
+region 10 4 4 1
+
+cell a 1 1
+cell b 1 1
+# another comment
+net n a:out b:in
+`
+	nl, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(nl.Cells) != 2 || len(nl.Nets) != 1 {
+		t.Errorf("parsed %d cells, %d nets", len(nl.Cells), len(nl.Nets))
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unknown directive", "bogus x\n"},
+		{"region args", "region 10\n"},
+		{"region numbers", "region a b c d\n"},
+		{"cell args", "cell a\n"},
+		{"cell dims", "cell a x y\n"},
+		{"dup cell", "region 10 4 4 1\ncell a 1 1\ncell a 1 1\n"},
+		{"net unknown cell", "region 10 4 4 1\ncell a 1 1\nnet n a ghost\n"},
+		{"net one pin", "region 10 4 4 1\ncell a 1 1\nnet n a\n"},
+		{"bad weight", "region 10 4 4 1\ncell a 1 1\ncell b 1 1\nnet n weight x a b\n"},
+		{"bad dir", "region 10 4 4 1\ncell a 1 1\ncell b 1 1\nnet n a:sideways b\n"},
+		{"bad offset", "region 10 4 4 1\ncell a 1 1\ncell b 1 1\nnet n a:in:1 b\n"},
+		{"bad cap", "region 10 4 4 1\ncell a 1 1\ncell b 1 1\nnet n a:in:1,1:zz b\n"},
+		{"place unknown", "region 10 4 4 1\ncell a 1 1\ncell b 1 1\nnet n a b\nplace ghost 1 1\n"},
+		{"place coords", "region 10 4 4 1\ncell a 1 1\ncell b 1 1\nnet n a b\nplace a x y\n"},
+		{"fixed coords", "region 10 4 4 1\ncell a 1 1 fixed x y\n"},
+		{"bad delay", "region 10 4 4 1\ncell a 1 1 delay zz\n"},
+		{"bad power", "region 10 4 4 1\ncell a 1 1 power zz\n"},
+		{"unknown attr", "region 10 4 4 1\ncell a 1 1 sparkly\n"},
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c.src)); err == nil {
+			t.Errorf("%s: expected parse error", c.name)
+		}
+	}
+}
+
+func TestReadRowlessRegion(t *testing.T) {
+	src := "circuit fp\nregion 100 100 0 0\ncell a 10 10\ncell b 10 10\nnet n a b\n"
+	nl, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(nl.Region.Rows) != 0 {
+		t.Errorf("rows = %d, want 0", len(nl.Region.Rows))
+	}
+	if nl.Region.Area() != 10000 {
+		t.Errorf("area = %v", nl.Region.Area())
+	}
+}
+
+func TestWriteUnnamedEntities(t *testing.T) {
+	nl := &Netlist{
+		Region: geom.NewRegion(1, 1, 10),
+		Cells:  []Cell{{W: 1, H: 1}, {W: 1, H: 1}},
+		Nets:   []Net{{Pins: []Pin{{Cell: 0}, {Cell: 1}}, Weight: 1}},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, nl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read of unnamed output: %v\n%s", err, buf.String())
+	}
+	if got.Cells[0].Name != "c0" {
+		t.Errorf("synthesized name = %q", got.Cells[0].Name)
+	}
+}

@@ -1,0 +1,171 @@
+package netlist
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+// randomNetlist builds an arbitrary small valid netlist from a seed.
+func randomNetlist(seed int64) *Netlist {
+	rng := rand.New(rand.NewSource(seed))
+	nCells := 3 + rng.Intn(20)
+	rows := 1 + rng.Intn(5)
+	width := 20 + rng.Float64()*80
+	// The region must hold all movable cells (Validate enforces it); widen
+	// when the random widths exceed the random capacity.
+	if need := float64(nCells) * 3.5 / float64(rows) / 0.8; width < need {
+		width = need
+	}
+	nl := &Netlist{Name: "prop", Region: geom.NewRegion(rows, 1, width)}
+	for i := 0; i < nCells; i++ {
+		c := Cell{
+			Name: "c" + string(rune('a'+i%26)) + string(rune('0'+i/26)),
+			W:    0.5 + rng.Float64()*3,
+			H:    1,
+			Pos: geom.Point{
+				X: rng.Float64() * width,
+				Y: rng.Float64() * float64(rows),
+			},
+			Delay: rng.Float64() * 1e-9,
+			Power: rng.Float64(),
+			Seq:   rng.Intn(5) == 0,
+		}
+		if rng.Intn(6) == 0 {
+			c.Fixed = true
+		}
+		nl.Cells = append(nl.Cells, c)
+	}
+	nNets := 2 + rng.Intn(25)
+	for ni := 0; ni < nNets; ni++ {
+		deg := 2 + rng.Intn(5)
+		if deg > nCells {
+			deg = nCells
+		}
+		n := Net{Name: "n" + string(rune('a'+ni%26)) + string(rune('0'+ni/26)), Weight: 0.5 + rng.Float64()*2}
+		seen := map[int]bool{}
+		for len(n.Pins) < deg {
+			ci := rng.Intn(nCells)
+			if seen[ci] {
+				continue
+			}
+			seen[ci] = true
+			dir := Input
+			if len(n.Pins) == 0 {
+				dir = Output
+			}
+			clampOff := func(v float64) float64 {
+				if v > 0.5 {
+					return 0.5
+				}
+				if v < -0.5 {
+					return -0.5
+				}
+				return v
+			}
+			n.Pins = append(n.Pins, Pin{
+				Cell:   ci,
+				Dir:    dir,
+				Offset: geom.Point{X: clampOff(rng.NormFloat64() * 0.2), Y: clampOff(rng.NormFloat64() * 0.2)},
+				Cap:    rng.Float64() * 1e-14,
+			})
+		}
+		nl.Nets = append(nl.Nets, n)
+	}
+	return nl
+}
+
+// TestIORoundTripProperty: Write∘Read preserves structure, positions,
+// weights, offsets and HPWL for arbitrary netlists.
+func TestIORoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		nl := randomNetlist(seed)
+		var buf bytes.Buffer
+		if err := Write(&buf, nl); err != nil {
+			t.Logf("seed %d write: %v", seed, err)
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Logf("seed %d read: %v", seed, err)
+			return false
+		}
+		if len(got.Cells) != len(nl.Cells) || len(got.Nets) != len(nl.Nets) {
+			return false
+		}
+		// HPWL is a strong structural fingerprint; fixed cells keep
+		// positions, movable placed cells keep theirs via place lines.
+		if math.Abs(got.HPWL()-nl.HPWL()) > 1e-9*(1+nl.HPWL()) {
+			t.Logf("seed %d: HPWL %v vs %v", seed, got.HPWL(), nl.HPWL())
+			return false
+		}
+		if math.Abs(got.WeightedHPWL()-nl.WeightedHPWL()) > 1e-9*(1+nl.WeightedHPWL()) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHPWLInvariantsProperty: HPWL is non-negative, translation-invariant,
+// and scales linearly with coordinates.
+func TestHPWLInvariantsProperty(t *testing.T) {
+	f := func(seed int64, dxRaw, dyRaw int8) bool {
+		nl := randomNetlist(seed)
+		base := nl.HPWL()
+		if base < 0 {
+			return false
+		}
+		dx, dy := float64(dxRaw), float64(dyRaw)
+		shifted := nl.Clone()
+		for i := range shifted.Cells {
+			shifted.Cells[i].Pos.X += dx
+			shifted.Cells[i].Pos.Y += dy
+		}
+		if math.Abs(shifted.HPWL()-base) > 1e-6*(1+base) {
+			t.Logf("seed %d: translation changed HPWL", seed)
+			return false
+		}
+		scaled := nl.Clone()
+		for i := range scaled.Cells {
+			scaled.Cells[i].Pos.X *= 2
+			scaled.Cells[i].Pos.Y *= 2
+		}
+		// Pin offsets do not scale, so allow the bound rather than
+		// equality: HPWL(2p) ≤ 2·HPWL(p) + offset slack.
+		if scaled.HPWL() > 2*base+4*float64(len(nl.Nets)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSnapshotRestoreProperty: Restore(Snapshot()) is the identity.
+func TestSnapshotRestoreProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		nl := randomNetlist(seed)
+		snap := nl.Snapshot()
+		for i := range nl.Cells {
+			nl.Cells[i].Pos.X += 5
+		}
+		nl.Restore(snap)
+		for i := range nl.Cells {
+			if nl.Cells[i].Pos != snap[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

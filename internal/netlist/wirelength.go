@@ -1,0 +1,94 @@
+package netlist
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// NetBBox returns the bounding box of all pin positions of net ni.
+func (nl *Netlist) NetBBox(ni int) geom.Rect {
+	var bb geom.BBox
+	for _, p := range nl.Nets[ni].Pins {
+		bb.Add(nl.PinPos(p))
+	}
+	return bb.Rect()
+}
+
+// NetHPWL returns the half-perimeter wire length of net ni, unweighted.
+// This is the paper's wire-length measure: "summing up the half perimeter
+// of the enclosing rectangle for each net" (§6).
+func (nl *Netlist) NetHPWL(ni int) float64 {
+	return nl.NetBBox(ni).HalfPerimeter()
+}
+
+// HPWL returns the total unweighted half-perimeter wire length.
+func (nl *Netlist) HPWL() float64 {
+	var s float64
+	for ni := range nl.Nets {
+		s += nl.NetHPWL(ni)
+	}
+	return s
+}
+
+// WeightedHPWL returns the net-weight-scaled half-perimeter wire length.
+func (nl *Netlist) WeightedHPWL() float64 {
+	var s float64
+	for ni := range nl.Nets {
+		s += nl.Nets[ni].Weight * nl.NetHPWL(ni)
+	}
+	return s
+}
+
+// QuadraticWL returns the clique-model quadratic objective value
+// ½ Σ_nets w/k Σ_pairs dist², matching the system assembled by internal/qp.
+// It is primarily a test oracle: minimizing the qp system must not increase
+// this value.
+func (nl *Netlist) QuadraticWL() float64 {
+	var s float64
+	for ni := range nl.Nets {
+		n := &nl.Nets[ni]
+		k := len(n.Pins)
+		if k < 2 {
+			continue
+		}
+		w := n.Weight / float64(k)
+		for i := 0; i < k; i++ {
+			pi := nl.PinPos(n.Pins[i])
+			for j := i + 1; j < k; j++ {
+				s += w * pi.Dist2(nl.PinPos(n.Pins[j]))
+			}
+		}
+	}
+	return s
+}
+
+// OverlapArea returns the total pairwise overlap area of movable cells.
+// It is O(n log n) via a sweep over x-sorted cells; used as a quality metric
+// and test oracle, not in any inner loop.
+func (nl *Netlist) OverlapArea() float64 {
+	type item struct {
+		r  geom.Rect
+		x1 float64
+	}
+	items := make([]item, 0, len(nl.Cells))
+	for i := range nl.Cells {
+		c := &nl.Cells[i]
+		if c.Fixed || c.Area() == 0 {
+			continue
+		}
+		r := c.Rect()
+		items = append(items, item{r, r.Hi.X})
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].r.Lo.X < items[j].r.Lo.X })
+	var total float64
+	for i := 0; i < len(items); i++ {
+		for j := i + 1; j < len(items); j++ {
+			if items[j].r.Lo.X >= items[i].x1 {
+				break
+			}
+			total += items[i].r.Overlap(items[j].r)
+		}
+	}
+	return total
+}

@@ -1,0 +1,439 @@
+// Package partition implements Fiduccia–Mattheyses min-cut bipartitioning,
+// the engine behind the GORDIAN-style comparison placer. It operates on a
+// subset of a netlist's cells, respects an area balance tolerance, and uses
+// the classic gain-bucket structure for O(pins) passes.
+package partition
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/netlist"
+)
+
+// Options controls a bipartitioning run.
+type Options struct {
+	// Balance is the maximum allowed deviation of either side's area from
+	// half the total, as a fraction (default 0.1 → 40/60 at worst).
+	Balance float64
+	// MaxPasses bounds the number of FM passes (default 8; passes stop
+	// early when a pass yields no improvement).
+	MaxPasses int
+	// Seed drives the initial partition when no seed sides are given.
+	Seed int64
+}
+
+// Result of a bipartition.
+type Result struct {
+	// Side[i] is 0 or 1 for each input cell (indexed like the input
+	// slice).
+	Side []int
+	// Cut is the number of nets with pins on both sides (counting only
+	// nets that touch the partitioned set).
+	Cut int
+	// Passes is the number of FM passes executed.
+	Passes int
+}
+
+// Bipartition splits the given cells of nl into two sides minimizing net
+// cut. seedSide, when non-nil, provides the initial assignment (same length
+// as cells); otherwise the first half by input order starts on side 0.
+func Bipartition(nl *netlist.Netlist, cells []int, seedSide []int, opts Options) Result {
+	if opts.Balance <= 0 {
+		opts.Balance = 0.1
+	}
+	if opts.MaxPasses <= 0 {
+		opts.MaxPasses = 8
+	}
+	f := newFM(nl, cells, seedSide, opts)
+	for pass := 0; pass < opts.MaxPasses; pass++ {
+		if !f.pass() {
+			f.passes = pass + 1
+			break
+		}
+		f.passes = pass + 1
+	}
+	return Result{Side: f.side, Cut: f.cutCount(), Passes: f.passes}
+}
+
+type fm struct {
+	nl    *netlist.Netlist
+	cells []int
+	local map[int]int // cell index -> local index
+	side  []int
+	area  []float64
+	total float64
+	want  float64 // half of total
+	tol   float64
+	rng   *rand.Rand
+
+	nets     []fmNet // nets restricted to the partitioned set
+	cellNets [][]int // local cell -> indices into nets
+
+	gain    []int
+	buckets *gainBuckets
+	locked  []bool
+	passes  int
+}
+
+type fmNet struct {
+	members []int  // local cell indices (deduplicated)
+	count   [2]int // members per side (maintained during a pass)
+}
+
+func newFM(nl *netlist.Netlist, cells []int, seedSide []int, opts Options) *fm {
+	f := &fm{
+		nl:    nl,
+		cells: cells,
+		local: make(map[int]int, len(cells)),
+		side:  make([]int, len(cells)),
+		area:  make([]float64, len(cells)),
+		rng:   rand.New(rand.NewSource(opts.Seed)),
+	}
+	for li, ci := range cells {
+		f.local[ci] = li
+		a := nl.Cells[ci].Area()
+		if a <= 0 {
+			a = 1e-9
+		}
+		f.area[li] = a
+		f.total += a
+	}
+	f.want = f.total / 2
+	f.tol = opts.Balance * f.total
+
+	if seedSide != nil {
+		copy(f.side, seedSide)
+	} else {
+		for li := range f.side {
+			if li >= len(cells)/2 {
+				f.side[li] = 1
+			}
+		}
+	}
+	f.rebalance()
+
+	// Restrict nets to the partitioned set, dropping single-member nets.
+	f.cellNets = make([][]int, len(cells))
+	seen := make(map[int]bool)
+	for ni := range nl.Nets {
+		clear(seen)
+		var members []int
+		for _, p := range nl.Nets[ni].Pins {
+			if li, ok := f.local[p.Cell]; ok && !seen[p.Cell] {
+				seen[p.Cell] = true
+				members = append(members, li)
+			}
+		}
+		if len(members) < 2 {
+			continue
+		}
+		fi := len(f.nets)
+		f.nets = append(f.nets, fmNet{members: members})
+		for _, li := range members {
+			f.cellNets[li] = append(f.cellNets[li], fi)
+		}
+	}
+	f.locked = make([]bool, len(cells))
+	f.gain = make([]int, len(cells))
+	return f
+}
+
+// rebalance greedily moves cells until both sides are within tolerance,
+// fixing degenerate seeds. The iteration count is bounded: with very few or
+// very unequal cells the tolerance may be unsatisfiable (one cell heavier
+// than half the total), in which case the best reachable split stands.
+func (f *fm) rebalance() {
+	for iter := 0; iter <= len(f.cells); iter++ {
+		a := f.sideArea(0)
+		switch {
+		case a > f.want+f.tol:
+			f.moveSmallestExcessFrom(0, a-f.want)
+		case f.total-a > f.want+f.tol:
+			f.moveSmallestExcessFrom(1, f.total-a-f.want)
+		default:
+			return
+		}
+	}
+}
+
+// moveSmallestExcessFrom moves the largest cell on side s not exceeding the
+// excess (or the smallest cell when all exceed it), converging instead of
+// ping-ponging one oversized cell.
+func (f *fm) moveSmallestExcessFrom(s int, excess float64) {
+	best, bestA := -1, -1.0
+	smallest, smallestA := -1, math.Inf(1)
+	for li, sd := range f.side {
+		if sd != s {
+			continue
+		}
+		a := f.area[li]
+		if a <= excess && a > bestA {
+			best, bestA = li, a
+		}
+		if a < smallestA {
+			smallest, smallestA = li, a
+		}
+	}
+	if best < 0 {
+		best = smallest
+	}
+	if best >= 0 {
+		f.side[best] = 1 - s
+	}
+}
+
+func (f *fm) sideArea(s int) float64 {
+	var a float64
+	for li, sd := range f.side {
+		if sd == s {
+			a += f.area[li]
+		}
+	}
+	return a
+}
+
+func (f *fm) moveLargestFrom(s int) {
+	best, bestA := -1, -1.0
+	for li, sd := range f.side {
+		if sd == s && f.area[li] > bestA {
+			best, bestA = li, f.area[li]
+		}
+	}
+	if best >= 0 {
+		f.side[best] = 1 - s
+	}
+}
+
+func (f *fm) cutCount() int {
+	cut := 0
+	for i := range f.nets {
+		n := &f.nets[i]
+		c0 := 0
+		for _, li := range n.members {
+			if f.side[li] == 0 {
+				c0++
+			}
+		}
+		if c0 > 0 && c0 < len(n.members) {
+			cut++
+		}
+	}
+	return cut
+}
+
+// pass runs one FM pass and keeps the best prefix; returns true when the
+// pass improved the cut.
+func (f *fm) pass() bool {
+	n := len(f.cells)
+	if n < 2 {
+		return false
+	}
+	// Initialize net side counts and cell gains.
+	maxDeg := 0
+	for li := range f.cellNets {
+		if d := len(f.cellNets[li]); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	for i := range f.nets {
+		f.nets[i].count = [2]int{}
+		for _, li := range f.nets[i].members {
+			f.nets[i].count[f.side[li]]++
+		}
+	}
+	for li := range f.gain {
+		f.gain[li] = f.computeGain(li)
+		f.locked[li] = false
+	}
+	f.buckets = newGainBuckets(maxDeg)
+	for li := range f.gain {
+		f.buckets.add(li, f.gain[li])
+	}
+
+	area0 := f.sideArea(0)
+	startCut := f.cutCount()
+	bestGainSum, gainSum := 0, 0
+	bestPrefix := 0
+	moves := make([]int, 0, n)
+
+	for len(moves) < n {
+		li := f.pickMove(area0)
+		if li < 0 {
+			break
+		}
+		from := f.side[li]
+		gainSum += f.gain[li]
+		f.applyMove(li)
+		if from == 0 {
+			area0 -= f.area[li]
+		} else {
+			area0 += f.area[li]
+		}
+		moves = append(moves, li)
+		if gainSum > bestGainSum {
+			bestGainSum = gainSum
+			bestPrefix = len(moves)
+		}
+	}
+	// Roll back past the best prefix.
+	for i := len(moves) - 1; i >= bestPrefix; i-- {
+		li := moves[i]
+		f.side[li] = 1 - f.side[li]
+	}
+	return bestGainSum > 0 && f.cutCount() < startCut
+}
+
+// computeGain returns the cut reduction of moving cell li to the other
+// side.
+func (f *fm) computeGain(li int) int {
+	s := f.side[li]
+	g := 0
+	for _, fi := range f.cellNets[li] {
+		n := &f.nets[fi]
+		if n.count[s] == 1 {
+			g++ // moving removes the last member on s: net uncut
+		}
+		if n.count[1-s] == 0 {
+			g-- // net was uncut, moving cuts it
+		}
+	}
+	return g
+}
+
+// pickMove returns the unlocked cell with the highest gain whose move keeps
+// the balance, or -1.
+func (f *fm) pickMove(area0 float64) int {
+	return f.buckets.best(func(li int) bool {
+		if f.locked[li] {
+			return false
+		}
+		newArea0 := area0
+		if f.side[li] == 0 {
+			newArea0 -= f.area[li]
+		} else {
+			newArea0 += f.area[li]
+		}
+		return math.Abs(newArea0-f.want) <= f.tol+f.area[li]
+	})
+}
+
+// applyMove flips cell li, locks it, and updates neighbor gains.
+func (f *fm) applyMove(li int) {
+	from := f.side[li]
+	to := 1 - from
+	f.locked[li] = true
+	f.buckets.remove(li, f.gain[li])
+
+	for _, fi := range f.cellNets[li] {
+		n := &f.nets[fi]
+		// Gain updates per the standard FM critical-net rules, before and
+		// after the count change.
+		if n.count[to] == 0 {
+			for _, m := range n.members {
+				f.bumpGain(m, +1)
+			}
+		} else if n.count[to] == 1 {
+			for _, m := range n.members {
+				if !f.locked[m] && f.side[m] == to {
+					f.bumpGain(m, -1)
+				}
+			}
+		}
+		n.count[from]--
+		n.count[to]++
+		if n.count[from] == 0 {
+			for _, m := range n.members {
+				f.bumpGain(m, -1)
+			}
+		} else if n.count[from] == 1 {
+			for _, m := range n.members {
+				if !f.locked[m] && f.side[m] == from {
+					f.bumpGain(m, +1)
+				}
+			}
+		}
+	}
+	f.side[li] = to
+}
+
+func (f *fm) bumpGain(li, delta int) {
+	if f.locked[li] {
+		return
+	}
+	f.buckets.remove(li, f.gain[li])
+	f.gain[li] += delta
+	f.buckets.add(li, f.gain[li])
+}
+
+// gainBuckets is the classic FM bucket array over gains [-maxDeg, maxDeg]
+// with a moving max pointer.
+type gainBuckets struct {
+	offset  int
+	buckets [][]int
+	pos     map[int]int // cell -> index within its bucket
+	maxGain int
+}
+
+func newGainBuckets(maxDeg int) *gainBuckets {
+	return &gainBuckets{
+		offset:  maxDeg,
+		buckets: make([][]int, 2*maxDeg+1),
+		pos:     make(map[int]int),
+		maxGain: -maxDeg,
+	}
+}
+
+func (b *gainBuckets) add(li, gain int) {
+	g := gain + b.offset
+	if g < 0 {
+		g = 0
+	}
+	if g >= len(b.buckets) {
+		g = len(b.buckets) - 1
+	}
+	b.pos[li] = len(b.buckets[g])
+	b.buckets[g] = append(b.buckets[g], li)
+	if gain > b.maxGain {
+		b.maxGain = gain
+	}
+}
+
+func (b *gainBuckets) remove(li, gain int) {
+	g := gain + b.offset
+	if g < 0 {
+		g = 0
+	}
+	if g >= len(b.buckets) {
+		g = len(b.buckets) - 1
+	}
+	bucket := b.buckets[g]
+	i, ok := b.pos[li]
+	if !ok || i >= len(bucket) || bucket[i] != li {
+		// Linear fallback (should not happen; defensive).
+		for j, v := range bucket {
+			if v == li {
+				i = j
+				break
+			}
+		}
+	}
+	last := len(bucket) - 1
+	bucket[i] = bucket[last]
+	b.pos[bucket[i]] = i
+	b.buckets[g] = bucket[:last]
+	delete(b.pos, li)
+}
+
+// best scans from the highest gain downward and returns the first cell
+// accepted by ok, or -1.
+func (b *gainBuckets) best(ok func(int) bool) int {
+	for g := len(b.buckets) - 1; g >= 0; g-- {
+		for _, li := range b.buckets[g] {
+			if ok(li) {
+				return li
+			}
+		}
+	}
+	return -1
+}

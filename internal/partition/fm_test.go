@@ -1,0 +1,170 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/netgen"
+	"repro/internal/netlist"
+)
+
+// twoClusters builds two internally dense 6-cell cliques joined by one net.
+func twoClusters(t *testing.T) (*netlist.Netlist, []int) {
+	t.Helper()
+	b := netlist.NewBuilder("cl", geom.NewRegion(4, 1, 40))
+	names := make([]string, 12)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+		b.AddCell(names[i], 1, 1)
+	}
+	ni := 0
+	conn := func(a, c string) {
+		b.Connect("n"+string(rune('0'+ni/10))+string(rune('0'+ni%10)), a, c)
+		ni++
+	}
+	for g := 0; g < 2; g++ {
+		for i := 0; i < 6; i++ {
+			for j := i + 1; j < 6; j++ {
+				conn(names[g*6+i], names[g*6+j])
+			}
+		}
+	}
+	conn(names[0], names[6]) // single bridge
+	nl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := make([]int, 12)
+	for i := range cells {
+		cells[i] = i
+	}
+	return nl, cells
+}
+
+func TestBipartitionFindsNaturalCut(t *testing.T) {
+	nl, cells := twoClusters(t)
+	// Seed with the worst split: alternating sides.
+	seed := make([]int, 12)
+	for i := range seed {
+		seed[i] = i % 2
+	}
+	res := Bipartition(nl, cells, seed, Options{})
+	if res.Cut != 1 {
+		t.Errorf("cut = %d, want 1 (the bridge)", res.Cut)
+	}
+	// The two cliques end on opposite sides.
+	for i := 1; i < 6; i++ {
+		if res.Side[i] != res.Side[0] {
+			t.Errorf("cluster 1 split: side[%d]=%d side[0]=%d", i, res.Side[i], res.Side[0])
+		}
+		if res.Side[6+i] != res.Side[6] {
+			t.Errorf("cluster 2 split: side[%d]=%d", 6+i, res.Side[6+i])
+		}
+	}
+	if res.Side[0] == res.Side[6] {
+		t.Error("both clusters on the same side")
+	}
+}
+
+func TestBipartitionBalance(t *testing.T) {
+	nl := netgen.Generate(netgen.Config{Name: "bal", Cells: 400, Nets: 600, Rows: 8, Seed: 31})
+	cells := movables(nl)
+	res := Bipartition(nl, cells, nil, Options{Balance: 0.1})
+	var a0, total float64
+	for li, ci := range cells {
+		a := nl.Cells[ci].Area()
+		total += a
+		if res.Side[li] == 0 {
+			a0 += a
+		}
+	}
+	dev := a0/total - 0.5
+	if dev > 0.11 || dev < -0.11 {
+		t.Errorf("balance deviation = %v", dev)
+	}
+}
+
+func TestBipartitionImprovesOverSeed(t *testing.T) {
+	nl := netgen.Generate(netgen.Config{Name: "imp", Cells: 300, Nets: 450, Rows: 8, Seed: 32})
+	cells := movables(nl)
+	seed := make([]int, len(cells))
+	for i := range seed {
+		seed[i] = i % 2 // interleaved: terrible for clustered nets
+	}
+	seedCut := cutOf(nl, cells, seed)
+	res := Bipartition(nl, cells, seed, Options{})
+	if res.Cut >= seedCut {
+		t.Errorf("FM did not improve: %d -> %d", seedCut, res.Cut)
+	}
+	if got := cutOf(nl, cells, res.Side); got != res.Cut {
+		t.Errorf("reported cut %d != recomputed %d", res.Cut, got)
+	}
+}
+
+func TestBipartitionSubsetOnly(t *testing.T) {
+	nl := netgen.Generate(netgen.Config{Name: "sub", Cells: 100, Nets: 150, Rows: 4, Seed: 33})
+	all := movables(nl)
+	subset := all[:40]
+	res := Bipartition(nl, subset, nil, Options{})
+	if len(res.Side) != 40 {
+		t.Fatalf("side length %d", len(res.Side))
+	}
+}
+
+func TestBipartitionTinyInputs(t *testing.T) {
+	nl := netgen.Generate(netgen.Config{Name: "tiny", Cells: 4, Nets: 3, Rows: 2, Seed: 34})
+	res := Bipartition(nl, []int{0, 1}, nil, Options{})
+	if len(res.Side) != 2 {
+		t.Fatal("bad side slice")
+	}
+	res = Bipartition(nl, []int{0}, nil, Options{})
+	if len(res.Side) != 1 {
+		t.Fatal("single-cell bipartition broken")
+	}
+}
+
+func TestBipartitionDeterministic(t *testing.T) {
+	nl := netgen.Generate(netgen.Config{Name: "det", Cells: 200, Nets: 300, Rows: 8, Seed: 35})
+	cells := movables(nl)
+	a := Bipartition(nl, cells, nil, Options{Seed: 7})
+	b := Bipartition(nl, cells, nil, Options{Seed: 7})
+	for i := range a.Side {
+		if a.Side[i] != b.Side[i] {
+			t.Fatal("non-deterministic result")
+		}
+	}
+}
+
+func movables(nl *netlist.Netlist) []int {
+	var out []int
+	for i := range nl.Cells {
+		if !nl.Cells[i].Fixed {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func cutOf(nl *netlist.Netlist, cells, side []int) int {
+	loc := map[int]int{}
+	for li, ci := range cells {
+		loc[ci] = side[li]
+	}
+	cut := 0
+	for ni := range nl.Nets {
+		has := [2]bool{}
+		members := 0
+		seen := map[int]bool{}
+		for _, p := range nl.Nets[ni].Pins {
+			if s, ok := loc[p.Cell]; ok && !seen[p.Cell] {
+				seen[p.Cell] = true
+				has[s] = true
+				members++
+			}
+		}
+		if members >= 2 && has[0] && has[1] {
+			cut++
+		}
+	}
+	return cut
+}

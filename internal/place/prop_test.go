@@ -1,0 +1,76 @@
+package place
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netgen"
+)
+
+// TestGlobalInvariantsProperty: over random circuits, a global placement
+// run always terminates, keeps every cell inside the region, never
+// produces NaN coordinates, and never moves fixed cells.
+func TestGlobalInvariantsProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("many placement runs")
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl := netgen.Generate(netgen.Config{
+			Name:  "prop",
+			Cells: 30 + rng.Intn(150),
+			Nets:  40 + rng.Intn(200),
+			Rows:  2 + rng.Intn(10),
+			Seed:  seed,
+		})
+		fixed := nl.Snapshot()
+		res, err := Global(nl, Config{MaxIter: 60})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if res.Iterations == 0 {
+			return false
+		}
+		out := nl.Region.Outline
+		for ci := range nl.Cells {
+			c := &nl.Cells[ci]
+			if math.IsNaN(c.Pos.X) || math.IsNaN(c.Pos.Y) {
+				t.Logf("seed %d: NaN", seed)
+				return false
+			}
+			if c.Fixed {
+				if c.Pos != fixed[ci] {
+					t.Logf("seed %d: fixed cell moved", seed)
+					return false
+				}
+				continue
+			}
+			if !out.Contains(c.Pos) {
+				t.Logf("seed %d: cell %d outside at %v", seed, ci, c.Pos)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDeterministicRuns: identical configurations produce identical
+// placements (the algorithm has no hidden randomness).
+func TestDeterministicRuns(t *testing.T) {
+	run := func() float64 {
+		nl := netgen.Generate(netgen.Config{Name: "det", Cells: 120, Nets: 160, Rows: 6, Seed: 77})
+		if _, err := Global(nl, Config{MaxIter: 40}); err != nil {
+			t.Fatal(err)
+		}
+		return nl.HPWL()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("non-deterministic: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,84 @@
+package qp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netgen"
+	"repro/internal/sparse"
+)
+
+// TestSystemInvariantsProperty checks, over random circuits, that the
+// assembled matrix is symmetric, diagonally dominant (hence positive
+// semidefinite) and that solving never moves fixed cells or produces NaNs.
+func TestSystemInvariantsProperty(t *testing.T) {
+	f := func(seed int64, linearize bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl := netgen.Generate(netgen.Config{
+			Name:  "prop",
+			Cells: 20 + rng.Intn(120),
+			Nets:  30 + rng.Intn(150),
+			Rows:  2 + rng.Intn(8),
+			Seed:  seed,
+		})
+		netgen.ScatterRandom(nl, seed+1)
+		fixedBefore := nl.Snapshot()
+
+		sys := Build(nl, Options{Linearize: linearize})
+		m := sys.Matrix()
+		if !m.IsSymmetric(1e-9) {
+			t.Logf("seed %d: asymmetric", seed)
+			return false
+		}
+		if !m.RowDiagonallyDominant(1e-6) {
+			t.Logf("seed %d: not diagonally dominant", seed)
+			return false
+		}
+		if _, err := sys.Solve(nil, sparse.CGOptions{}); err != nil {
+			t.Logf("seed %d: solve: %v", seed, err)
+			return false
+		}
+		for ci := range nl.Cells {
+			c := &nl.Cells[ci]
+			if c.Pos.X != c.Pos.X || c.Pos.Y != c.Pos.Y { // NaN
+				t.Logf("seed %d: NaN position", seed)
+				return false
+			}
+			if c.Fixed && c.Pos != fixedBefore[ci] {
+				t.Logf("seed %d: fixed cell moved", seed)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSolveDeltaZeroForceProperty: a zero force increment never moves
+// anything.
+func TestSolveDeltaZeroForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		nl := netgen.Generate(netgen.Config{
+			Name: "zero", Cells: 30, Nets: 40, Rows: 4, Seed: seed,
+		})
+		netgen.ScatterRandom(nl, seed)
+		before := nl.Snapshot()
+		sys := Build(nl, Options{})
+		if _, err := sys.SolveDelta(nil, sparse.CGOptions{}); err != nil {
+			return false
+		}
+		after := nl.Snapshot()
+		for i := range before {
+			if before[i].Dist(after[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,154 @@
+package route
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+// DirectionalMap refines the bounding-box estimate with the classic
+// probabilistic L/Z-route model: every 2-pin connection (a net decomposes
+// into driver→sink pairs, or a star around the centroid) contributes
+// horizontal usage along its x-span and vertical usage along its y-span,
+// distributed over the rows/columns it could route through with equal
+// probability per Z-bend position. Horizontal and vertical demand are
+// tracked separately, as real routing layers are.
+type DirectionalMap struct {
+	Region geom.Rect
+	NX, NY int
+	BinW   float64
+	BinH   float64
+	// HUsage and VUsage are wire length per bin in each direction.
+	HUsage []float64
+	VUsage []float64
+	// HCap and VCap are the per-bin routable lengths per direction.
+	HCap, VCap float64
+}
+
+// EstimateDirectional builds the two-layer usage map at the current
+// placement. capPerUnit is the per-direction routing capacity in wire
+// length per unit area (0 = auto: twice the average demand).
+func EstimateDirectional(nl *netlist.Netlist, nx, ny int, capPerUnit float64) *DirectionalMap {
+	region := nl.Region.Outline
+	m := &DirectionalMap{
+		Region: region,
+		NX:     nx, NY: ny,
+		BinW:   region.W() / float64(nx),
+		BinH:   region.H() / float64(ny),
+		HUsage: make([]float64, nx*ny),
+		VUsage: make([]float64, nx*ny),
+	}
+	for ni := range nl.Nets {
+		net := &nl.Nets[ni]
+		w := net.Weight
+		// Decompose: driver to every sink; driverless nets use the first
+		// pin as a pseudo-driver.
+		di := net.Driver()
+		if di < 0 {
+			di = 0
+		}
+		src := nl.PinPos(net.Pins[di])
+		for pi, p := range net.Pins {
+			if pi == di {
+				continue
+			}
+			m.addConnection(src, nl.PinPos(p), w)
+		}
+	}
+	if capPerUnit <= 0 {
+		var total float64
+		for i := range m.HUsage {
+			total += m.HUsage[i] + m.VUsage[i]
+		}
+		capPerUnit = total / region.Area()
+	}
+	binArea := m.BinW * m.BinH
+	m.HCap = capPerUnit * binArea
+	m.VCap = capPerUnit * binArea
+	return m
+}
+
+// addConnection spreads one 2-pin connection's H and V wire over the
+// Z-route distribution: the horizontal wire runs on some row between the
+// endpoints' rows (uniformly likely), the vertical wire on some column
+// between the endpoints' columns.
+func (m *DirectionalMap) addConnection(a, b geom.Point, w float64) {
+	ax, ay := m.binOf(a)
+	bx, by := m.binOf(b)
+	if ax > bx {
+		ax, bx = bx, ax
+	}
+	if ay > by {
+		ay, by = by, ay
+	}
+	hLen := w * math.Abs(a.X-b.X)
+	vLen := w * math.Abs(a.Y-b.Y)
+	// Horizontal segment: spans columns ax..bx on one of the rows ay..by.
+	cols := bx - ax + 1
+	rows := by - ay + 1
+	if hLen > 0 {
+		per := hLen / float64(cols*rows)
+		for iy := ay; iy <= by; iy++ {
+			for ix := ax; ix <= bx; ix++ {
+				m.HUsage[iy*m.NX+ix] += per
+			}
+		}
+	}
+	if vLen > 0 {
+		per := vLen / float64(cols*rows)
+		for iy := ay; iy <= by; iy++ {
+			for ix := ax; ix <= bx; ix++ {
+				m.VUsage[iy*m.NX+ix] += per
+			}
+		}
+	}
+}
+
+func (m *DirectionalMap) binOf(p geom.Point) (int, int) {
+	ix := int((p.X - m.Region.Lo.X) / m.BinW)
+	iy := int((p.Y - m.Region.Lo.Y) / m.BinH)
+	return clampInt(ix, 0, m.NX-1), clampInt(iy, 0, m.NY-1)
+}
+
+// MaxCongestion returns the worst per-direction usage/capacity ratio.
+func (m *DirectionalMap) MaxCongestion() float64 {
+	var peak float64
+	for i := range m.HUsage {
+		if r := m.HUsage[i] / m.HCap; r > peak {
+			peak = r
+		}
+		if r := m.VUsage[i] / m.VCap; r > peak {
+			peak = r
+		}
+	}
+	return peak
+}
+
+// Overflow returns overflowing wire length (both directions) normalized by
+// total usage.
+func (m *DirectionalMap) Overflow() float64 {
+	var over, total float64
+	for i := range m.HUsage {
+		if m.HUsage[i] > m.HCap {
+			over += m.HUsage[i] - m.HCap
+		}
+		if m.VUsage[i] > m.VCap {
+			over += m.VUsage[i] - m.VCap
+		}
+		total += m.HUsage[i] + m.VUsage[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	return over / total
+}
+
+// Combined returns H+V usage per bin (for rendering).
+func (m *DirectionalMap) Combined() []float64 {
+	out := make([]float64, len(m.HUsage))
+	for i := range out {
+		out[i] = m.HUsage[i] + m.VUsage[i]
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package route
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+// hv builds two cells joined by one net with a known span.
+func hv(t *testing.T, ax, ay, bx, by float64) *netlist.Netlist {
+	t.Helper()
+	b := netlist.NewBuilder("hv", geom.Region{Outline: geom.NewRect(0, 0, 16, 16)})
+	b.AddCell("a", 1, 1)
+	b.AddCell("c", 1, 1)
+	b.Connect("n", "a", "c")
+	nl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl.Cells[0].Pos = geom.Point{X: ax, Y: ay}
+	nl.Cells[1].Pos = geom.Point{X: bx, Y: by}
+	return nl
+}
+
+func TestDirectionalConservesWireLength(t *testing.T) {
+	nl := hv(t, 2, 3, 10, 9)
+	m := EstimateDirectional(nl, 8, 8, 0)
+	var h, v float64
+	for i := range m.HUsage {
+		h += m.HUsage[i]
+		v += m.VUsage[i]
+	}
+	if math.Abs(h-8) > 1e-9 {
+		t.Errorf("H usage total %v, want 8", h)
+	}
+	if math.Abs(v-6) > 1e-9 {
+		t.Errorf("V usage total %v, want 6", v)
+	}
+}
+
+func TestDirectionalPureHorizontal(t *testing.T) {
+	nl := hv(t, 2, 5, 14, 5)
+	m := EstimateDirectional(nl, 8, 8, 0)
+	for i, v := range m.VUsage {
+		if v != 0 {
+			t.Fatalf("vertical usage %v at bin %d for a horizontal net", v, i)
+		}
+	}
+	// All H usage on the net's row band.
+	rowY := int(5.0 / m.BinH)
+	for iy := 0; iy < 8; iy++ {
+		for ix := 0; ix < 8; ix++ {
+			u := m.HUsage[iy*m.NX+ix]
+			if iy != rowY && u != 0 {
+				t.Fatalf("H usage leaked to row %d", iy)
+			}
+		}
+	}
+}
+
+func TestDirectionalStaysInBoundingBox(t *testing.T) {
+	nl := hv(t, 2, 2, 6, 6)
+	m := EstimateDirectional(nl, 16, 16, 0)
+	for iy := 0; iy < 16; iy++ {
+		for ix := 0; ix < 16; ix++ {
+			u := m.HUsage[iy*16+ix] + m.VUsage[iy*16+ix]
+			in := ix >= 2 && ix <= 6 && iy >= 2 && iy <= 6
+			if !in && u > 1e-12 {
+				t.Fatalf("usage %v outside bbox at (%d,%d)", u, ix, iy)
+			}
+		}
+	}
+}
+
+func TestDirectionalMetrics(t *testing.T) {
+	nl := hv(t, 2, 3, 10, 9)
+	m := EstimateDirectional(nl, 8, 8, 0)
+	if m.MaxCongestion() <= 0 {
+		t.Error("no peak congestion")
+	}
+	if ov := m.Overflow(); ov < 0 || ov > 1 {
+		t.Errorf("overflow = %v", ov)
+	}
+	tiny := EstimateDirectional(nl, 8, 8, 1e-12)
+	if tiny.Overflow() < 0.9 {
+		t.Errorf("tiny capacity overflow = %v", tiny.Overflow())
+	}
+	c := m.Combined()
+	if len(c) != 64 {
+		t.Fatal("combined length")
+	}
+	var sum float64
+	for _, v := range c {
+		sum += v
+	}
+	if math.Abs(sum-14) > 1e-9 {
+		t.Errorf("combined total %v, want 14", sum)
+	}
+}
+
+func TestDirectionalMultiPinStar(t *testing.T) {
+	b := netlist.NewBuilder("star", geom.Region{Outline: geom.NewRect(0, 0, 16, 16)})
+	b.AddCell("d", 1, 1)
+	b.AddCell("s1", 1, 1)
+	b.AddCell("s2", 1, 1)
+	b.Connect("n", "d", "s1", "s2") // d drives both
+	nl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl.Cells[0].Pos = geom.Point{X: 8, Y: 8}
+	nl.Cells[1].Pos = geom.Point{X: 2, Y: 8}
+	nl.Cells[2].Pos = geom.Point{X: 14, Y: 8}
+	m := EstimateDirectional(nl, 8, 8, 0)
+	var h float64
+	for _, u := range m.HUsage {
+		h += u
+	}
+	// Two driver→sink connections: 6 + 6 = 12.
+	if math.Abs(h-12) > 1e-9 {
+		t.Errorf("star H total %v, want 12", h)
+	}
+}

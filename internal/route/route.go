@@ -1,0 +1,152 @@
+// Package route implements the probabilistic routing estimation behind the
+// paper's congestion-driven placement (§5): "Before each placement
+// transformation a routing estimation is executed. Then, a congestion map
+// is determined which is used in combination with the density D(x,y)".
+//
+// The estimator is the standard bounding-box wiring-density model (each
+// net's expected wire length is smeared uniformly over its bounding box),
+// which needs no router and matches the paper's level of abstraction.
+package route
+
+import (
+	"math"
+
+	"repro/internal/density"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+// Map is a congestion map over a bin grid.
+type Map struct {
+	Region geom.Rect
+	NX, NY int
+	BinW   float64
+	BinH   float64
+	// Usage is the estimated wiring demand per bin (wire length units).
+	Usage []float64
+	// Capacity is the routable wire length per bin.
+	Capacity float64
+}
+
+// Estimate builds a congestion map for the current placement. tracksPerUnit
+// is the routing capacity in wire-length units per unit area (defaults
+// to twice the average demand so a balanced design is uncongested).
+func Estimate(nl *netlist.Netlist, nx, ny int, tracksPerUnit float64) *Map {
+	region := nl.Region.Outline
+	m := &Map{
+		Region: region,
+		NX:     nx, NY: ny,
+		BinW:  region.W() / float64(nx),
+		BinH:  region.H() / float64(ny),
+		Usage: make([]float64, nx*ny),
+	}
+	for ni := range nl.Nets {
+		bb := nl.NetBBox(ni)
+		if bb.Empty() {
+			// Degenerate box: pins coincide; spread a minimal demand at
+			// the point.
+			bb = bb.Expand(m.BinW / 4)
+		}
+		wl := nl.Nets[ni].Weight * bb.HalfPerimeter()
+		area := bb.Area()
+		if area <= 0 {
+			continue
+		}
+		perArea := wl / area
+		ix0, iy0 := m.binAt(bb.Lo)
+		ix1, iy1 := m.binAt(bb.Hi)
+		for iy := iy0; iy <= iy1; iy++ {
+			for ix := ix0; ix <= ix1; ix++ {
+				ov := m.binRect(ix, iy).Overlap(bb)
+				if ov > 0 {
+					m.Usage[iy*nx+ix] += perArea * ov
+				}
+			}
+		}
+	}
+	if tracksPerUnit <= 0 {
+		var total float64
+		for _, u := range m.Usage {
+			total += u
+		}
+		tracksPerUnit = 2 * total / region.Area()
+	}
+	m.Capacity = tracksPerUnit * m.BinW * m.BinH
+	return m
+}
+
+func (m *Map) binAt(p geom.Point) (int, int) {
+	ix := int((p.X - m.Region.Lo.X) / m.BinW)
+	iy := int((p.Y - m.Region.Lo.Y) / m.BinH)
+	return clampInt(ix, 0, m.NX-1), clampInt(iy, 0, m.NY-1)
+}
+
+func (m *Map) binRect(ix, iy int) geom.Rect {
+	return geom.RectWH(
+		m.Region.Lo.X+float64(ix)*m.BinW,
+		m.Region.Lo.Y+float64(iy)*m.BinH,
+		m.BinW, m.BinH,
+	)
+}
+
+// Overflow returns the total usage beyond capacity, normalized by total
+// usage — the fraction of wiring sitting in congested bins.
+func (m *Map) Overflow() float64 {
+	var over, total float64
+	for _, u := range m.Usage {
+		if u > m.Capacity {
+			over += u - m.Capacity
+		}
+		total += u
+	}
+	if total == 0 {
+		return 0
+	}
+	return over / total
+}
+
+// MaxCongestion returns the peak usage/capacity ratio.
+func (m *Map) MaxCongestion() float64 {
+	var peak float64
+	for _, u := range m.Usage {
+		if r := u / m.Capacity; r > peak {
+			peak = r
+		}
+	}
+	return peak
+}
+
+// ExtraDemand converts the congestion overflow into an additional density
+// demand map for the given placement grid, implementing the §5 blending:
+// congested bins read as over-dense, so the force field pushes cells away
+// from them. weight scales overflow wiring into cell-area units.
+func (m *Map) ExtraDemand(g *density.Grid, weight float64) []float64 {
+	if weight <= 0 {
+		weight = 1
+	}
+	out := make([]float64, g.NX*g.NY)
+	binArea := g.BinW * g.BinH
+	for iy := 0; iy < g.NY; iy++ {
+		for ix := 0; ix < g.NX; ix++ {
+			c := g.BinCenter(ix, iy)
+			mx := clampInt(int((c.X-m.Region.Lo.X)/m.BinW), 0, m.NX-1)
+			my := clampInt(int((c.Y-m.Region.Lo.Y)/m.BinH), 0, m.NY-1)
+			u := m.Usage[my*m.NX+mx]
+			if u > m.Capacity {
+				frac := (u - m.Capacity) / math.Max(m.Capacity, 1e-12)
+				out[iy*g.NX+ix] = weight * frac * binArea
+			}
+		}
+	}
+	return out
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

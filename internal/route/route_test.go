@@ -1,0 +1,127 @@
+package route
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/density"
+	"repro/internal/geom"
+	"repro/internal/netgen"
+	"repro/internal/netlist"
+	"repro/internal/place"
+)
+
+func placed(t *testing.T, cells int, seed int64) *netlist.Netlist {
+	t.Helper()
+	nl := netgen.Generate(netgen.Config{Name: "r", Cells: cells, Nets: cells + cells/3, Rows: 8, Seed: seed})
+	if _, err := place.Global(nl, place.Config{MaxIter: 40}); err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+func TestEstimateConservesWireLength(t *testing.T) {
+	nl := placed(t, 200, 81)
+	m := Estimate(nl, 32, 8, 0)
+	var total float64
+	for _, u := range m.Usage {
+		total += u
+	}
+	want := nl.WeightedHPWL()
+	// Bounding boxes clipped at region edges can lose a little demand;
+	// most must be accounted for.
+	if total < 0.9*want || total > 1.1*want {
+		t.Errorf("usage total %v vs weighted HPWL %v", total, want)
+	}
+}
+
+func TestCongestionConcentratesWhereNetsAre(t *testing.T) {
+	// Two cells joined by one net in a corner: usage should appear only in
+	// that corner.
+	b := netlist.NewBuilder("c", geom.NewRegion(8, 1, 64))
+	b.AddCell("a", 1, 1)
+	b.AddCell("bb", 1, 1)
+	b.Connect("n", "a", "bb")
+	nl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl.Cells[0].Pos = geom.Point{X: 2, Y: 1}
+	nl.Cells[1].Pos = geom.Point{X: 6, Y: 2}
+	m := Estimate(nl, 16, 4, 0)
+	for iy := 0; iy < 4; iy++ {
+		for ix := 0; ix < 16; ix++ {
+			u := m.Usage[iy*16+ix]
+			inBox := ix <= 2 && iy == 0
+			if !inBox && u > 1e-9 {
+				t.Errorf("usage %v leaked to bin (%d,%d)", u, ix, iy)
+			}
+		}
+	}
+}
+
+func TestOverflowAndPeak(t *testing.T) {
+	nl := placed(t, 300, 82)
+	m := Estimate(nl, 32, 8, 0)
+	ov := m.Overflow()
+	if ov < 0 || ov > 1 {
+		t.Errorf("overflow = %v", ov)
+	}
+	if m.MaxCongestion() <= 0 {
+		t.Error("no peak congestion")
+	}
+	// Tiny capacity: everything overflows.
+	tiny := Estimate(nl, 32, 8, 1e-9)
+	if tiny.Overflow() < 0.9 {
+		t.Errorf("tiny capacity overflow = %v", tiny.Overflow())
+	}
+}
+
+func TestExtraDemandTargetsCongestedBins(t *testing.T) {
+	nl := placed(t, 300, 83)
+	m := Estimate(nl, 32, 8, 0)
+	g := density.NewGrid(nl.Region.Outline, 32, 8)
+	extra := m.ExtraDemand(g, 1)
+	var sum float64
+	for _, e := range extra {
+		if e < 0 {
+			t.Fatal("negative extra demand")
+		}
+		sum += e
+	}
+	if m.Overflow() > 0 && sum == 0 {
+		t.Error("overflowing map produced no extra demand")
+	}
+}
+
+func TestCongestionDrivenPlacementReducesOverflow(t *testing.T) {
+	run := func(driven bool) float64 {
+		nl := netgen.Generate(netgen.Config{Name: "cd", Cells: 300, Nets: 400, Rows: 8, Seed: 84})
+		cfg := place.Config{MaxIter: 80}
+		cap := 0.0
+		if driven {
+			cfg.ExtraDemand = func(g *density.Grid) []float64 {
+				m := Estimate(nl, g.NX, g.NY, cap)
+				if cap == 0 {
+					cap = m.Capacity / (g.BinW * g.BinH) // freeze capacity
+				}
+				return m.ExtraDemand(g, 0.5)
+			}
+		}
+		if _, err := place.Global(nl, cfg); err != nil {
+			t.Fatal(err)
+		}
+		final := Estimate(nl, 32, 8, 0)
+		return final.MaxCongestion()
+	}
+	plain := run(false)
+	driven := run(true)
+	// Congestion-driven placement should not be clearly worse; usually
+	// better. (Peak congestion is noisy, so allow slack.)
+	if driven > plain*1.15 {
+		t.Errorf("congestion-driven peak %v much worse than plain %v", driven, plain)
+	}
+	if math.IsNaN(driven) || math.IsNaN(plain) {
+		t.Fatal("NaN congestion")
+	}
+}

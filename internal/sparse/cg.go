@@ -1,0 +1,129 @@
+package sparse
+
+import (
+	"errors"
+	"math"
+)
+
+// Preconditioner selects how CG preconditions the system.
+type Preconditioner int
+
+const (
+	// Jacobi (diagonal) preconditioning: cheapest per iteration, the
+	// default.
+	Jacobi Preconditioner = iota
+	// IC0 zero-fill incomplete Cholesky (the classic ICCG of GORDIAN-era
+	// placers): fewer iterations, a sequential triangular solve each.
+	// Falls back to Jacobi when the factorization breaks down.
+	IC0
+)
+
+// CGOptions controls the conjugate gradient solver.
+type CGOptions struct {
+	// Tol is the relative residual target ‖r‖/‖b‖. Defaults to 1e-8.
+	Tol float64
+	// MaxIter caps the iteration count. Defaults to 10·N.
+	MaxIter int
+	// Precond selects the preconditioner (default Jacobi).
+	Precond Preconditioner
+}
+
+// CGResult reports how a solve went.
+type CGResult struct {
+	Iterations int
+	Residual   float64 // final relative residual
+	Converged  bool
+}
+
+// ErrNotConverged is returned when CG hits MaxIter above tolerance. The
+// best iterate found is still written to x, since a slightly unconverged
+// placement solve is usable.
+var ErrNotConverged = errors.New("sparse: conjugate gradient did not converge")
+
+// SolveCG solves M·x = b for symmetric positive-definite M using conjugate
+// gradients with Jacobi (diagonal) preconditioning. x carries the initial
+// guess on entry (warm start) and the solution on return.
+func SolveCG(m *CSR, x, b []float64, opt CGOptions) (CGResult, error) {
+	n := m.N()
+	if len(x) != n || len(b) != n {
+		panic("sparse: SolveCG dimension mismatch")
+	}
+	if opt.Tol <= 0 {
+		opt.Tol = 1e-8
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 10 * n
+		if opt.MaxIter < 100 {
+			opt.MaxIter = 100
+		}
+	}
+
+	var chol *ic0
+	if opt.Precond == IC0 {
+		chol = newIC0(m) // nil on breakdown → Jacobi fallback
+	}
+	invDiag := make([]float64, n)
+	for i, d := range m.Diag() {
+		if d > 0 {
+			invDiag[i] = 1 / d
+		} else {
+			invDiag[i] = 1 // row with no anchor yet; plain CG behaviour
+		}
+	}
+	precond := func(z, r []float64) {
+		if chol != nil {
+			chol.apply(z, r)
+			return
+		}
+		for i := range z {
+			z[i] = invDiag[i] * r[i]
+		}
+	}
+
+	r := make([]float64, n)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+
+	m.MulVec(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	bnorm := Norm2(b)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	res := Norm2(r) / bnorm
+	if res <= opt.Tol {
+		return CGResult{0, res, true}, nil
+	}
+
+	precond(z, r)
+	copy(p, z)
+	rz := Dot(r, z)
+
+	for iter := 1; iter <= opt.MaxIter; iter++ {
+		m.MulVec(ap, p)
+		pap := Dot(p, ap)
+		if pap <= 0 || math.IsNaN(pap) {
+			// Matrix is not positive definite along p (or numerics broke
+			// down); return the best iterate.
+			return CGResult{iter, res, false}, ErrNotConverged
+		}
+		alpha := rz / pap
+		Axpy(x, alpha, p)
+		Axpy(r, -alpha, ap)
+		res = Norm2(r) / bnorm
+		if res <= opt.Tol {
+			return CGResult{iter, res, true}, nil
+		}
+		precond(z, r)
+		rzNew := Dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return CGResult{opt.MaxIter, res, false}, ErrNotConverged
+}

@@ -1,0 +1,88 @@
+package sparse
+
+import "math"
+
+// ic0 is a zero-fill incomplete Cholesky factorization: L has exactly the
+// sparsity of the matrix's lower triangle and L·Lᵀ ≈ M. GORDIAN-era
+// analytical placers ran conjugate gradients with exactly this
+// preconditioner (ICCG); it typically halves the iteration count of Jacobi
+// on placement matrices at the cost of a sequential triangular solve per
+// iteration.
+type ic0 struct {
+	n      int
+	rowPtr []int
+	cols   []int // column indices, strictly below the diagonal, ascending
+	vals   []float64
+	diag   []float64 // L's diagonal entries
+}
+
+// newIC0 factors m. Returns nil when the factorization breaks down (a
+// non-positive pivot), in which case the caller should fall back to Jacobi.
+func newIC0(m *CSR) *ic0 {
+	n := m.N()
+	f := &ic0{n: n, rowPtr: make([]int, n+1), diag: make([]float64, n)}
+	// Gather the strict lower triangle.
+	for i := 0; i < n; i++ {
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			if m.cols[k] < i {
+				f.cols = append(f.cols, m.cols[k])
+				f.vals = append(f.vals, m.vals[k])
+			}
+		}
+		f.rowPtr[i+1] = len(f.cols)
+	}
+	// Column-index lookup per row for the dot products.
+	pos := make(map[[2]int]int, len(f.cols))
+	for i := 0; i < n; i++ {
+		for k := f.rowPtr[i]; k < f.rowPtr[i+1]; k++ {
+			pos[[2]int{i, f.cols[k]}] = k
+		}
+	}
+	for i := 0; i < n; i++ {
+		// Off-diagonal entries of row i.
+		for k := f.rowPtr[i]; k < f.rowPtr[i+1]; k++ {
+			j := f.cols[k]
+			s := f.vals[k]
+			// s -= Σ_{t<j} L[i][t]·L[j][t] over shared sparsity.
+			for kk := f.rowPtr[i]; kk < k; kk++ {
+				t := f.cols[kk]
+				if jj, ok := pos[[2]int{j, t}]; ok {
+					s -= f.vals[kk] * f.vals[jj]
+				}
+			}
+			if f.diag[j] == 0 {
+				return nil
+			}
+			f.vals[k] = s / f.diag[j]
+		}
+		// Diagonal.
+		d := m.At(i, i)
+		for k := f.rowPtr[i]; k < f.rowPtr[i+1]; k++ {
+			d -= f.vals[k] * f.vals[k]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil
+		}
+		f.diag[i] = math.Sqrt(d)
+	}
+	return f
+}
+
+// apply solves L·Lᵀ·z = r (the preconditioner application).
+func (f *ic0) apply(z, r []float64) {
+	// Forward: L·y = r.
+	for i := 0; i < f.n; i++ {
+		s := r[i]
+		for k := f.rowPtr[i]; k < f.rowPtr[i+1]; k++ {
+			s -= f.vals[k] * z[f.cols[k]]
+		}
+		z[i] = s / f.diag[i]
+	}
+	// Backward: Lᵀ·z = y.
+	for i := f.n - 1; i >= 0; i-- {
+		z[i] /= f.diag[i]
+		for k := f.rowPtr[i]; k < f.rowPtr[i+1]; k++ {
+			z[f.cols[k]] -= f.vals[k] * z[i]
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Package speedtd implements a SPEED-style timing-driven comparison placer
+// [21] (Riess/Ettelt, ISCAS'95): timing analysis on an initial analytical
+// placement derives *static* net weights from slacks, and a single weighted
+// re-placement follows. Unlike the paper's iterative criticality scheme,
+// the weights are decided once from early (possibly inaccurate)
+// information — exactly the contrast §6.2 draws.
+package speedtd
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/gordian"
+	"repro/internal/netlist"
+	"repro/internal/timing"
+)
+
+// Config controls the baseline.
+type Config struct {
+	// Alpha scales the slack-derived weight boost (default 4).
+	Alpha float64
+	// Gordian configures both placement passes.
+	Gordian gordian.Config
+	// Params are the timing constants.
+	Params timing.Params
+}
+
+// Result summarizes a run.
+type Result struct {
+	Before  float64 // longest path after the unweighted pass (s)
+	After   float64 // longest path after the weighted pass (s)
+	HPWL    float64
+	Runtime time.Duration
+}
+
+// Place runs the two-pass SPEED flow on nl.
+func Place(nl *netlist.Netlist, cfg Config) (Result, error) {
+	if cfg.Alpha <= 0 {
+		cfg.Alpha = 4
+	}
+	start := time.Now()
+
+	// Pass 1: unweighted analytical placement.
+	if _, err := gordian.Place(nl, cfg.Gordian); err != nil {
+		return Result{}, err
+	}
+	analyzer := timing.NewAnalyzer(nl, cfg.Params)
+	rep := analyzer.Analyze()
+	before := rep.MaxDelay
+
+	// Static weights: nets with small slack get boosted proportionally to
+	// their criticality 1 − slack/Tmax.
+	if before > 0 {
+		for ni := range nl.Nets {
+			s := rep.NetSlack[ni]
+			if math.IsInf(s, 1) {
+				continue
+			}
+			crit := 1 - s/before
+			if crit < 0 {
+				crit = 0
+			}
+			if crit > 1 {
+				crit = 1
+			}
+			nl.Nets[ni].Weight *= 1 + cfg.Alpha*crit
+		}
+	}
+
+	// Pass 2: weighted re-placement.
+	if _, err := gordian.Place(nl, cfg.Gordian); err != nil {
+		return Result{}, err
+	}
+	after := analyzer.Analyze().MaxDelay
+	return Result{
+		Before:  before,
+		After:   after,
+		HPWL:    nl.HPWL(),
+		Runtime: time.Since(start),
+	}, nil
+}

@@ -1,0 +1,52 @@
+package speedtd
+
+import (
+	"testing"
+
+	"repro/internal/netgen"
+	"repro/internal/timing"
+)
+
+func TestPlaceRunsAndWeights(t *testing.T) {
+	nl := netgen.Generate(netgen.Config{Name: "sp", Cells: 300, Nets: 400, Rows: 8, Seed: 61})
+	res, err := Place(nl, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Before <= 0 || res.After <= 0 || res.HPWL <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	// Weights were raised on some nets.
+	boosted := 0
+	for ni := range nl.Nets {
+		if nl.Nets[ni].Weight > 1 {
+			boosted++
+		}
+	}
+	if boosted == 0 {
+		t.Error("no net weights boosted")
+	}
+	// The result is better than chance: compare against the zero-length
+	// lower bound sanity.
+	lb := timing.LowerBound(nl, timing.DefaultParams())
+	if res.After < lb {
+		t.Errorf("after %v below lower bound %v", res.After, lb)
+	}
+}
+
+func TestPlaceUsuallyImprovesTiming(t *testing.T) {
+	improved := 0
+	for seed := int64(62); seed < 65; seed++ {
+		nl := netgen.Generate(netgen.Config{Name: "sp2", Cells: 250, Nets: 330, Rows: 8, Seed: seed})
+		res, err := Place(nl, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.After < res.Before {
+			improved++
+		}
+	}
+	if improved == 0 {
+		t.Error("SPEED never improved timing across 3 seeds")
+	}
+}

@@ -1,0 +1,171 @@
+// Package thermal implements the heat-map substrate of the paper's
+// heat-driven placement (§5): per-cell power is deposited on a grid, a
+// steady-state diffusion solve (Poisson with fixed-temperature boundary,
+// Gauss-Seidel/SOR) produces the temperature map, and hot bins convert to
+// extra density demand so the placer moves cells out of hot spots.
+package thermal
+
+import (
+	"math"
+
+	"repro/internal/density"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+// Map is a temperature field over a bin grid.
+type Map struct {
+	Region geom.Rect
+	NX, NY int
+	BinW   float64
+	BinH   float64
+	// Power is the deposited power per bin.
+	Power []float64
+	// T is the solved temperature rise per bin (boundary held at 0).
+	T []float64
+}
+
+// Solve builds the power map of the current placement and solves the
+// steady-state heat equation ∇²T = −P/k with T=0 at the region boundary.
+// conductivity defaults to 1 (temperatures are relative anyway).
+func Solve(nl *netlist.Netlist, nx, ny int, conductivity float64) *Map {
+	if conductivity <= 0 {
+		conductivity = 1
+	}
+	region := nl.Region.Outline
+	m := &Map{
+		Region: region,
+		NX:     nx, NY: ny,
+		BinW:  region.W() / float64(nx),
+		BinH:  region.H() / float64(ny),
+		Power: make([]float64, nx*ny),
+		T:     make([]float64, nx*ny),
+	}
+	// Deposit power by footprint overlap.
+	for ci := range nl.Cells {
+		c := &nl.Cells[ci]
+		if c.Power <= 0 || c.Area() <= 0 {
+			continue
+		}
+		r := c.Rect()
+		ix0, iy0 := m.binAt(r.Lo)
+		ix1, iy1 := m.binAt(r.Hi)
+		for iy := iy0; iy <= iy1; iy++ {
+			for ix := ix0; ix <= ix1; ix++ {
+				ov := m.binRect(ix, iy).Overlap(r)
+				if ov > 0 {
+					m.Power[iy*nx+ix] += c.Power * ov / r.Area()
+				}
+			}
+		}
+	}
+	m.solveSOR(conductivity)
+	return m
+}
+
+// solveSOR runs successive over-relaxation on the 5-point Laplacian with
+// Dirichlet zero boundary (chip edges at ambient).
+func (m *Map) solveSOR(k float64) {
+	hx2 := m.BinW * m.BinW
+	hy2 := m.BinH * m.BinH
+	denom := 2/hx2 + 2/hy2
+	omega := 1.8
+	at := func(ix, iy int) float64 {
+		if ix < 0 || ix >= m.NX || iy < 0 || iy >= m.NY {
+			return 0 // boundary: ambient
+		}
+		return m.T[iy*m.NX+ix]
+	}
+	const maxIter = 2000
+	for iter := 0; iter < maxIter; iter++ {
+		var residual, scale float64
+		for iy := 0; iy < m.NY; iy++ {
+			for ix := 0; ix < m.NX; ix++ {
+				i := iy*m.NX + ix
+				rhs := m.Power[i] / k
+				gs := (rhs + (at(ix-1, iy)+at(ix+1, iy))/hx2 +
+					(at(ix, iy-1)+at(ix, iy+1))/hy2) / denom
+				delta := gs - m.T[i]
+				m.T[i] += omega * delta
+				residual += math.Abs(delta)
+				scale += math.Abs(m.T[i])
+			}
+		}
+		if scale == 0 || residual <= 1e-8*scale {
+			return
+		}
+	}
+}
+
+func (m *Map) binAt(p geom.Point) (int, int) {
+	ix := int((p.X - m.Region.Lo.X) / m.BinW)
+	iy := int((p.Y - m.Region.Lo.Y) / m.BinH)
+	return clampInt(ix, 0, m.NX-1), clampInt(iy, 0, m.NY-1)
+}
+
+func (m *Map) binRect(ix, iy int) geom.Rect {
+	return geom.RectWH(
+		m.Region.Lo.X+float64(ix)*m.BinW,
+		m.Region.Lo.Y+float64(iy)*m.BinH,
+		m.BinW, m.BinH,
+	)
+}
+
+// Peak returns the maximum temperature rise.
+func (m *Map) Peak() float64 {
+	var p float64
+	for _, t := range m.T {
+		if t > p {
+			p = t
+		}
+	}
+	return p
+}
+
+// Mean returns the average temperature rise.
+func (m *Map) Mean() float64 {
+	var s float64
+	for _, t := range m.T {
+		s += t
+	}
+	return s / float64(len(m.T))
+}
+
+// ExtraDemand converts above-average temperature into additional density
+// demand on the placement grid: hot bins read as over-dense so the force
+// field moves cells (and their power) away — the paper's hot-spot
+// avoidance.
+func (m *Map) ExtraDemand(g *density.Grid, weight float64) []float64 {
+	if weight <= 0 {
+		weight = 1
+	}
+	mean := m.Mean()
+	peak := m.Peak()
+	out := make([]float64, g.NX*g.NY)
+	if peak <= mean {
+		return out
+	}
+	binArea := g.BinW * g.BinH
+	for iy := 0; iy < g.NY; iy++ {
+		for ix := 0; ix < g.NX; ix++ {
+			c := g.BinCenter(ix, iy)
+			mx := clampInt(int((c.X-m.Region.Lo.X)/m.BinW), 0, m.NX-1)
+			my := clampInt(int((c.Y-m.Region.Lo.Y)/m.BinH), 0, m.NY-1)
+			t := m.T[my*m.NX+mx]
+			if t > mean {
+				out[iy*g.NX+ix] = weight * (t - mean) / (peak - mean) * binArea
+			}
+		}
+	}
+	return out
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

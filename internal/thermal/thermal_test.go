@@ -1,0 +1,141 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/density"
+	"repro/internal/geom"
+	"repro/internal/netgen"
+	"repro/internal/netlist"
+	"repro/internal/place"
+)
+
+// hotCorner builds a design with all power in one corner cell.
+func hotCorner(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	b := netlist.NewBuilder("hot", geom.Region{Outline: geom.NewRect(0, 0, 16, 16)})
+	b.AddCell("hot", 2, 2)
+	b.AddCell("cold", 2, 2)
+	b.SetCellPower("hot", 100)
+	b.SetCellPower("cold", 0.01)
+	b.Connect("n", "hot", "cold")
+	nl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl.Cells[0].Pos = geom.Point{X: 3, Y: 3}
+	nl.Cells[1].Pos = geom.Point{X: 13, Y: 13}
+	return nl
+}
+
+func TestSolvePowerConservation(t *testing.T) {
+	nl := hotCorner(t)
+	m := Solve(nl, 16, 16, 1)
+	var total float64
+	for _, p := range m.Power {
+		total += p
+	}
+	if math.Abs(total-100.01) > 0.01 {
+		t.Errorf("total deposited power = %v", total)
+	}
+}
+
+func TestTemperaturePeaksAtHotSpot(t *testing.T) {
+	nl := hotCorner(t)
+	m := Solve(nl, 16, 16, 1)
+	peak := m.Peak()
+	if peak <= 0 {
+		t.Fatal("no temperature rise")
+	}
+	// The hottest bin should be near the hot cell (3,3) -> bin (3,3).
+	var hx, hy int
+	var hot float64
+	for iy := 0; iy < 16; iy++ {
+		for ix := 0; ix < 16; ix++ {
+			if tt := m.T[iy*16+ix]; tt > hot {
+				hot, hx, hy = tt, ix, iy
+			}
+		}
+	}
+	if hx > 5 || hy > 5 {
+		t.Errorf("hot spot at bin (%d,%d), expected near (3,3)", hx, hy)
+	}
+	// Far corner is much cooler.
+	far := m.T[14*16+14]
+	if far > hot/3 {
+		t.Errorf("far corner %v not much cooler than peak %v", far, hot)
+	}
+}
+
+func TestTemperatureIsNonNegativeAndSmooth(t *testing.T) {
+	nl := hotCorner(t)
+	m := Solve(nl, 16, 16, 1)
+	for i, tt := range m.T {
+		if tt < -1e-12 {
+			t.Fatalf("negative temperature %v at %d", tt, i)
+		}
+	}
+	// Laplacian check at an interior source-free bin: T ≈ mean of
+	// neighbors.
+	ix, iy := 10, 5
+	i := iy*16 + ix
+	if m.Power[i] != 0 {
+		t.Skip("chosen probe bin has power")
+	}
+	nb := (m.T[i-1] + m.T[i+1] + m.T[i-16] + m.T[i+16]) / 4
+	if math.Abs(m.T[i]-nb) > 1e-6*(1+m.Peak()) {
+		t.Errorf("harmonicity violated: T=%v, neighbor mean=%v", m.T[i], nb)
+	}
+}
+
+func TestHigherConductivityLowersPeak(t *testing.T) {
+	nl := hotCorner(t)
+	lo := Solve(nl, 16, 16, 1).Peak()
+	hi := Solve(nl, 16, 16, 10).Peak()
+	if hi >= lo {
+		t.Errorf("conductivity 10 peak %v not below conductivity 1 peak %v", hi, lo)
+	}
+}
+
+func TestExtraDemandMarksHotBins(t *testing.T) {
+	nl := hotCorner(t)
+	m := Solve(nl, 16, 16, 1)
+	g := density.NewGrid(nl.Region.Outline, 16, 16)
+	extra := m.ExtraDemand(g, 1)
+	// The hot corner must receive demand, the cold far corner none.
+	if extra[3*16+3] <= 0 {
+		t.Error("hot bin got no extra demand")
+	}
+	if extra[14*16+14] > extra[3*16+3]/2 {
+		t.Error("cold bin got comparable extra demand")
+	}
+}
+
+func TestHeatDrivenPlacementSpreadsPower(t *testing.T) {
+	// Heat-driven placement should lower the peak temperature vs plain.
+	run := func(driven bool) float64 {
+		nl := netgen.Generate(netgen.Config{Name: "hd", Cells: 250, Nets: 330, Rows: 8, Seed: 91})
+		// Make a hot clique: cells 0..19 dissipate heavily and are tightly
+		// connected so the plain placer piles them together.
+		for i := 0; i < 20; i++ {
+			nl.Cells[i].Power = 50
+		}
+		cfg := place.Config{MaxIter: 60}
+		if driven {
+			cfg.ExtraDemand = func(g *density.Grid) []float64 {
+				m := Solve(nl, g.NX, g.NY, 1)
+				return m.ExtraDemand(g, 2)
+			}
+		}
+		if _, err := place.Global(nl, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return Solve(nl, 32, 8, 1).Peak()
+	}
+	plain := run(false)
+	driven := run(true)
+	if driven > plain*1.1 {
+		t.Errorf("heat-driven peak %v much worse than plain %v", driven, plain)
+	}
+}

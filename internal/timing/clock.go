@@ -1,0 +1,46 @@
+package timing
+
+import "math"
+
+// ClockSummary evaluates a report against a clock period: the standard
+// worst-negative-slack / total-negative-slack figures of merit.
+type ClockSummary struct {
+	Period float64
+	// WNS is the worst negative slack: min(period − maxDelay, 0)... in the
+	// common sign convention, the most negative endpoint slack (0 when the
+	// design meets the clock).
+	WNS float64
+	// TNS sums every net's negative slack against the period (0 when the
+	// design meets the clock).
+	TNS float64
+	// FailingNets counts nets whose period slack is negative.
+	FailingNets int
+	// Met reports whether the longest path fits the period.
+	Met bool
+}
+
+// AgainstClock evaluates rep against a clock period in seconds. The
+// report's slacks are relative to its own MaxDelay; re-anchoring them to
+// the period is a constant shift of period − MaxDelay.
+func AgainstClock(rep Report, period float64) ClockSummary {
+	shift := period - rep.MaxDelay
+	out := ClockSummary{Period: period, Met: rep.MaxDelay <= period}
+	if !out.Met {
+		out.WNS = shift // negative
+	}
+	for _, s := range rep.NetSlack {
+		if math.IsInf(s, 1) {
+			continue
+		}
+		if ps := s + shift; ps < 0 {
+			out.TNS += ps
+			out.FailingNets++
+		}
+	}
+	return out
+}
+
+// MinPeriod returns the smallest clock period the current placement
+// supports — simply the longest path, exposed for symmetry with
+// AgainstClock.
+func MinPeriod(rep Report) float64 { return rep.MaxDelay }

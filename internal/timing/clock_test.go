@@ -1,0 +1,58 @@
+package timing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAgainstClockMet(t *testing.T) {
+	rep := Report{MaxDelay: 5e-9, NetSlack: []float64{0, 1e-9, math.Inf(1)}}
+	s := AgainstClock(rep, 6e-9)
+	if !s.Met || s.WNS != 0 || s.TNS != 0 || s.FailingNets != 0 {
+		t.Errorf("met clock summary = %+v", s)
+	}
+}
+
+func TestAgainstClockViolated(t *testing.T) {
+	rep := Report{MaxDelay: 5e-9, NetSlack: []float64{0, 0.5e-9, 3e-9, math.Inf(1)}}
+	s := AgainstClock(rep, 4e-9)
+	if s.Met {
+		t.Fatal("violated clock reported met")
+	}
+	if math.Abs(s.WNS-(-1e-9)) > 1e-15 {
+		t.Errorf("WNS = %v, want -1ns", s.WNS)
+	}
+	// Period slacks: 0-1= -1, 0.5-1= -0.5, 3-1= +2 -> TNS = -1.5ns over 2 nets.
+	if math.Abs(s.TNS-(-1.5e-9)) > 1e-15 {
+		t.Errorf("TNS = %v, want -1.5ns", s.TNS)
+	}
+	if s.FailingNets != 2 {
+		t.Errorf("failing nets = %d", s.FailingNets)
+	}
+}
+
+func TestMinPeriod(t *testing.T) {
+	rep := Report{MaxDelay: 7e-9}
+	if MinPeriod(rep) != 7e-9 {
+		t.Error("MinPeriod broken")
+	}
+	// A placement analyzed at MinPeriod always meets it.
+	s := AgainstClock(rep, MinPeriod(rep))
+	if !s.Met {
+		t.Error("MinPeriod not met by itself")
+	}
+}
+
+func TestAgainstClockOnRealCircuit(t *testing.T) {
+	nl := pipeline(t)
+	p := DefaultParams()
+	rep := NewAnalyzer(nl, p).Analyze()
+	tight := AgainstClock(rep, rep.MaxDelay*0.8)
+	loose := AgainstClock(rep, rep.MaxDelay*1.2)
+	if tight.Met || !loose.Met {
+		t.Errorf("met flags wrong: tight %v loose %v", tight.Met, loose.Met)
+	}
+	if tight.TNS >= 0 || tight.FailingNets == 0 {
+		t.Errorf("tight clock shows no violations: %+v", tight)
+	}
+}

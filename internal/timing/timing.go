@@ -1,0 +1,390 @@
+// Package timing implements the paper's timing machinery (§5): Elmore net
+// delays on the half-perimeter bounding box, longest-path analysis over the
+// combinational graph, the criticality-driven net weighting scheme, and the
+// two-phase "meeting timing requirements" flow with its timing/area
+// tradeoff curve.
+package timing
+
+import (
+	"math"
+
+	"repro/internal/netlist"
+)
+
+// Params carries the electrical and structural constants of the analysis.
+type Params struct {
+	// CapPerMeter is the wire capacitance (paper: 242 pF/m).
+	CapPerMeter float64
+	// ResPerMeter is the wire resistance (paper: 25.5 kΩ/m).
+	ResPerMeter float64
+	// UnitMeters converts layout units to meters. The default of 20 µm per
+	// unit puts the synthetic suite's chip spans in the centimeter range
+	// of the paper's era, making wire delay comparable to gate delay.
+	UnitMeters float64
+	// DefaultPinCap is the sink capacitance assumed for pins that do not
+	// specify one (farads).
+	DefaultPinCap float64
+	// MaxDegree excludes nets with more pins from the analysis; the paper
+	// disregards nets with more than 60 pins (§6.2).
+	MaxDegree int
+}
+
+// DefaultParams returns the paper's electrical constants.
+func DefaultParams() Params {
+	return Params{
+		CapPerMeter:   242e-12,
+		ResPerMeter:   25.5e3,
+		UnitMeters:    20e-6,
+		DefaultPinCap: 5e-15,
+		MaxDegree:     60,
+	}
+}
+
+// Calibrated returns DefaultParams with UnitMeters chosen so the chip spans
+// a fixed physical size (W+H ≈ 6 cm) regardless of the synthetic circuit's
+// cell count. Real dies are centimeter-scale whatever their gate count;
+// without this, small circuits have negligible wire delay and timing-driven
+// placement has no optimization potential to exploit (§6.2's measure would
+// divide by ~zero).
+func Calibrated(nl *netlist.Netlist) Params {
+	p := DefaultParams()
+	span := nl.Region.W() + nl.Region.H()
+	if span > 0 {
+		p.UnitMeters = 0.06 / span
+	}
+	return p
+}
+
+func (p *Params) setDefaults() {
+	d := DefaultParams()
+	if p.CapPerMeter <= 0 {
+		p.CapPerMeter = d.CapPerMeter
+	}
+	if p.ResPerMeter <= 0 {
+		p.ResPerMeter = d.ResPerMeter
+	}
+	if p.UnitMeters <= 0 {
+		p.UnitMeters = d.UnitMeters
+	}
+	if p.DefaultPinCap <= 0 {
+		p.DefaultPinCap = d.DefaultPinCap
+	}
+	if p.MaxDegree <= 0 {
+		p.MaxDegree = d.MaxDegree
+	}
+}
+
+// NetDelay returns the Elmore delay of net ni at the current placement:
+// R·L · (C·L/2 + ΣCsink), with L the half-perimeter of the net's bounding
+// box (§5: "Elmore delay model based on the half perimeter of the enclosing
+// rectangle"). Passing zeroLength computes the lower-bound variant (L = 0).
+func NetDelay(nl *netlist.Netlist, ni int, p Params, zeroLength bool) float64 {
+	p.setDefaults()
+	var length float64
+	if !zeroLength {
+		length = nl.NetHPWL(ni) * p.UnitMeters
+	}
+	var sinkCap float64
+	for _, pin := range nl.Nets[ni].Pins {
+		if pin.Dir == netlist.Output {
+			continue
+		}
+		if pin.Cap > 0 {
+			sinkCap += pin.Cap
+		} else {
+			sinkCap += p.DefaultPinCap
+		}
+	}
+	r := p.ResPerMeter * length
+	c := p.CapPerMeter * length
+	return r * (c/2 + sinkCap)
+}
+
+// Report is the result of one timing analysis.
+type Report struct {
+	// MaxDelay is the longest path delay in seconds.
+	MaxDelay float64
+	// NetSlack[i] is the worst slack over net i's sinks relative to
+	// MaxDelay as the required time; excluded nets have +Inf.
+	NetSlack []float64
+	// CriticalPath lists the cell indices of one longest path, source
+	// first.
+	CriticalPath []int
+	// Excluded counts nets skipped by the degree filter.
+	Excluded int
+}
+
+// Analyzer performs longest-path analysis over the combinational graph. A
+// cell is a path endpoint when it is fixed (a pad) or sequential; nets with
+// more than MaxDegree pins and driverless nets carry no timing arcs.
+type Analyzer struct {
+	nl     *netlist.Netlist
+	params Params
+
+	order    []int // topological order of cells (cycle-broken)
+	netOK    []bool
+	fanout   [][]arc // per cell: outgoing arcs
+	indegree []int
+}
+
+type arc struct {
+	net  int
+	sink int
+}
+
+// NewAnalyzer builds the timing graph structure; net delays are evaluated
+// lazily per Analyze call so the placement can change between calls.
+func NewAnalyzer(nl *netlist.Netlist, params Params) *Analyzer {
+	params.setDefaults()
+	a := &Analyzer{nl: nl, params: params}
+	a.build()
+	return a
+}
+
+func (a *Analyzer) build() {
+	nl := a.nl
+	n := len(nl.Cells)
+	a.netOK = make([]bool, len(nl.Nets))
+	a.fanout = make([][]arc, n)
+	a.indegree = make([]int, n)
+	for ni := range nl.Nets {
+		net := &nl.Nets[ni]
+		if net.Degree() > a.params.MaxDegree {
+			continue
+		}
+		di := net.Driver()
+		if di < 0 {
+			continue
+		}
+		a.netOK[ni] = true
+		driver := net.Pins[di].Cell
+		if isEndpoint(&nl.Cells[driver]) {
+			// Arcs still leave the endpoint (it launches paths) but none
+			// enter it through this net.
+		}
+		for pi, pin := range net.Pins {
+			if pi == di || pin.Cell == driver {
+				continue
+			}
+			if isEndpoint(&nl.Cells[pin.Cell]) {
+				// Path terminates here; the arc exists for delay
+				// propagation into the endpoint but not beyond, which the
+				// traversal handles by not relaxing out of endpoints.
+			}
+			a.fanout[driver] = append(a.fanout[driver], arc{net: ni, sink: pin.Cell})
+			a.indegree[pin.Cell]++
+		}
+	}
+	a.topoSort()
+}
+
+func isEndpoint(c *netlist.Cell) bool { return c.Fixed || c.Seq }
+
+// topoSort orders cells so that combinational arcs go forward; arcs that
+// would close a cycle are effectively ignored by the relaxation (synthetic
+// netlists can contain combinational loops, which real designs avoid).
+func (a *Analyzer) topoSort() {
+	nl := a.nl
+	n := len(nl.Cells)
+	indeg := make([]int, n)
+	// Endpoints absorb paths: arcs out of an endpoint launch new paths, so
+	// for ordering purposes arcs into endpoints don't constrain them.
+	for ci := range nl.Cells {
+		if isEndpoint(&nl.Cells[ci]) {
+			continue
+		}
+		indeg[ci] = a.indegree[ci]
+	}
+	queue := make([]int, 0, n)
+	for ci := 0; ci < n; ci++ {
+		if indeg[ci] == 0 {
+			queue = append(queue, ci)
+		}
+	}
+	a.order = a.order[:0]
+	seen := make([]bool, n)
+	for len(queue) > 0 {
+		ci := queue[0]
+		queue = queue[1:]
+		seen[ci] = true
+		a.order = append(a.order, ci)
+		if isEndpoint(&nl.Cells[ci]) && a.indegree[ci] > 0 {
+			// Arcs out of endpoints start fresh paths, already queued.
+		}
+		for _, e := range a.fanout[ci] {
+			if isEndpoint(&nl.Cells[e.sink]) {
+				continue
+			}
+			indeg[e.sink]--
+			if indeg[e.sink] == 0 && !seen[e.sink] {
+				queue = append(queue, e.sink)
+			}
+		}
+	}
+	// Any cells left sit on combinational cycles: append them in index
+	// order; back-arcs into them are then ignored by the forward pass.
+	for ci := 0; ci < n; ci++ {
+		if !seen[ci] {
+			a.order = append(a.order, ci)
+		}
+	}
+	// Endpoints that never appeared (no incoming combinational arcs, no
+	// outgoing) are included above via indeg==0, so order covers all cells.
+}
+
+// Analyze runs a forward longest-path pass and a backward required-time
+// pass at the current placement.
+func (a *Analyzer) Analyze() Report {
+	nl := a.nl
+	n := len(nl.Cells)
+	rep := Report{NetSlack: make([]float64, len(nl.Nets))}
+	for ni := range rep.NetSlack {
+		rep.NetSlack[ni] = math.Inf(1)
+		if a.netOK[ni] {
+			continue
+		}
+		rep.Excluded++
+	}
+
+	// Net delays at the current placement.
+	delay := make([]float64, len(nl.Nets))
+	for ni := range nl.Nets {
+		if a.netOK[ni] {
+			delay[ni] = NetDelay(nl, ni, a.params, false)
+		}
+	}
+
+	// Forward pass: arrival[c] is the latest arrival at the *output* of c.
+	arrival := make([]float64, n)
+	pred := make([]int, n)
+	for i := range pred {
+		pred[i] = -1
+	}
+	for ci := range nl.Cells {
+		arrival[ci] = nl.Cells[ci].Delay
+	}
+	pos := make([]int, n)
+	for i, ci := range a.order {
+		pos[ci] = i
+	}
+	for _, ci := range a.order {
+		for _, e := range a.fanout[ci] {
+			if isEndpoint(&nl.Cells[e.sink]) {
+				// Arrival into an endpoint terminates the path; track it
+				// via a virtual arrival for MaxDelay below.
+				at := arrival[ci] + delay[e.net]
+				if at > rep.MaxDelay {
+					rep.MaxDelay = at
+					rep.CriticalPath = tracePath(pred, ci)
+					rep.CriticalPath = append(rep.CriticalPath, e.sink)
+				}
+				continue
+			}
+			if pos[e.sink] <= pos[ci] {
+				continue // back-arc on a broken cycle
+			}
+			at := arrival[ci] + delay[e.net] + nl.Cells[e.sink].Delay
+			if at > arrival[e.sink] {
+				arrival[e.sink] = at
+				pred[e.sink] = ci
+			}
+		}
+	}
+	// Combinational outputs with no endpoint sink still bound the clock.
+	for ci := range nl.Cells {
+		if arrival[ci] > rep.MaxDelay {
+			rep.MaxDelay = arrival[ci]
+			rep.CriticalPath = tracePath(pred, ci)
+		}
+	}
+
+	// Backward pass: required[c] relative to MaxDelay at every endpoint.
+	required := make([]float64, n)
+	for i := range required {
+		required[i] = math.Inf(1)
+	}
+	for i := len(a.order) - 1; i >= 0; i-- {
+		ci := a.order[i]
+		for _, e := range a.fanout[ci] {
+			var reqHere float64
+			if isEndpoint(&nl.Cells[e.sink]) {
+				reqHere = rep.MaxDelay - delay[e.net]
+			} else {
+				if pos[e.sink] <= pos[ci] {
+					continue
+				}
+				reqHere = required[e.sink] - nl.Cells[e.sink].Delay - delay[e.net]
+			}
+			if reqHere < required[ci] {
+				required[ci] = reqHere
+			}
+			// Slack of the net: how much its delay could grow before the
+			// worst path through it misses MaxDelay.
+			slack := reqHere - arrival[ci]
+			if slack < rep.NetSlack[e.net] {
+				rep.NetSlack[e.net] = slack
+			}
+		}
+	}
+	return rep
+}
+
+func tracePath(pred []int, end int) []int {
+	var rev []int
+	for c := end; c >= 0; c = pred[c] {
+		rev = append(rev, c)
+		if len(rev) > len(pred) {
+			break // defensive: corrupted pred chain
+		}
+	}
+	out := make([]int, len(rev))
+	for i, c := range rev {
+		out[len(rev)-1-i] = c
+	}
+	return out
+}
+
+// LowerBound returns the longest path with all wire lengths set to zero —
+// the paper's §6.2 bound: reachable only if every net on the longest path
+// had zero length.
+func LowerBound(nl *netlist.Netlist, params Params) float64 {
+	params.setDefaults()
+	return lowerBoundExact(NewAnalyzer(nl, params))
+}
+
+func lowerBoundExact(a *Analyzer) float64 {
+	nl := a.nl
+	n := len(nl.Cells)
+	arrival := make([]float64, n)
+	for ci := range nl.Cells {
+		arrival[ci] = nl.Cells[ci].Delay
+	}
+	pos := make([]int, n)
+	for i, ci := range a.order {
+		pos[ci] = i
+	}
+	var maxDelay float64
+	for _, ci := range a.order {
+		for _, e := range a.fanout[ci] {
+			if isEndpoint(&nl.Cells[e.sink]) {
+				if arrival[ci] > maxDelay {
+					maxDelay = arrival[ci]
+				}
+				continue
+			}
+			if pos[e.sink] <= pos[ci] {
+				continue
+			}
+			at := arrival[ci] + nl.Cells[e.sink].Delay
+			if at > arrival[e.sink] {
+				arrival[e.sink] = at
+			}
+		}
+	}
+	for ci := range nl.Cells {
+		if arrival[ci] > maxDelay {
+			maxDelay = arrival[ci]
+		}
+	}
+	return maxDelay
+}

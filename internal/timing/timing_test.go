@@ -1,0 +1,345 @@
+package timing
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/netgen"
+	"repro/internal/netlist"
+	"repro/internal/place"
+)
+
+// pipeline builds pi -> a -> b -> c -> po with known delays and geometry.
+func pipeline(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	b := netlist.NewBuilder("pipe", geom.NewRegion(1, 1, 100))
+	b.AddPad("pi", geom.Point{X: 0, Y: 0.5})
+	b.AddPad("po", geom.Point{X: 100, Y: 0.5})
+	b.AddCell("a", 1, 1)
+	b.AddCell("b", 1, 1)
+	b.AddCell("c", 1, 1)
+	b.SetCellTiming("a", 1e-9, false)
+	b.SetCellTiming("b", 2e-9, false)
+	b.SetCellTiming("c", 1e-9, false)
+	b.Connect("n0", "pi", "a")
+	b.Connect("n1", "a", "b")
+	b.Connect("n2", "b", "c")
+	b.Connect("n3", "c", "po")
+	nl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl.Cells[2].Pos = geom.Point{X: 25, Y: 0.5}
+	nl.Cells[3].Pos = geom.Point{X: 50, Y: 0.5}
+	nl.Cells[4].Pos = geom.Point{X: 75, Y: 0.5}
+	return nl
+}
+
+func TestNetDelayFormula(t *testing.T) {
+	nl := pipeline(t)
+	p := DefaultParams()
+	// Net n1: a(25) -> b(50): HPWL 25 units = 25*20µm = 500µm.
+	l := 25 * p.UnitMeters
+	r := p.ResPerMeter * l
+	c := p.CapPerMeter * l
+	want := r * (c/2 + p.DefaultPinCap)
+	if got := NetDelay(nl, 1, p, false); math.Abs(got-want) > 1e-18 {
+		t.Errorf("NetDelay = %v, want %v", got, want)
+	}
+	if got := NetDelay(nl, 1, p, true); got != 0 {
+		t.Errorf("zero-length NetDelay = %v", got)
+	}
+}
+
+func TestNetDelayUsesPinCaps(t *testing.T) {
+	nl := pipeline(t)
+	p := DefaultParams()
+	base := NetDelay(nl, 1, p, false)
+	nl.Nets[1].Pins[1].Cap = 100e-15
+	if got := NetDelay(nl, 1, p, false); got <= base {
+		t.Errorf("bigger sink cap did not raise delay: %v <= %v", got, base)
+	}
+}
+
+func TestLongestPathPipeline(t *testing.T) {
+	nl := pipeline(t)
+	p := DefaultParams()
+	rep := NewAnalyzer(nl, p).Analyze()
+	// Path: pi -> n0 -> a(1ns) -> n1 -> b(2ns) -> n2 -> c(1ns) -> n3 -> po.
+	want := 1e-9 + 2e-9 + 1e-9 +
+		NetDelay(nl, 0, p, false) + NetDelay(nl, 1, p, false) +
+		NetDelay(nl, 2, p, false) + NetDelay(nl, 3, p, false)
+	if math.Abs(rep.MaxDelay-want) > 1e-15 {
+		t.Errorf("MaxDelay = %v, want %v", rep.MaxDelay, want)
+	}
+	// Critical path runs pi, a, b, c, po.
+	wantPath := []int{0, 2, 3, 4, 1}
+	if len(rep.CriticalPath) != len(wantPath) {
+		t.Fatalf("critical path = %v, want %v", rep.CriticalPath, wantPath)
+	}
+	for i, c := range wantPath {
+		if rep.CriticalPath[i] != c {
+			t.Fatalf("critical path = %v, want %v", rep.CriticalPath, wantPath)
+		}
+	}
+}
+
+func TestLongestPathShrinksWithPlacement(t *testing.T) {
+	nl := pipeline(t)
+	p := DefaultParams()
+	straight := NewAnalyzer(nl, p).Analyze().MaxDelay
+	// A detour (b thrown far off the pi→po line) must slow the path; the
+	// evenly spaced straight line is the geometric optimum.
+	nl.Cells[3].Pos = geom.Point{X: 90, Y: 0.5}
+	detour := NewAnalyzer(nl, p).Analyze().MaxDelay
+	if detour <= straight {
+		t.Errorf("detour did not slow the path: %v <= %v", detour, straight)
+	}
+	if straight < 4e-9 {
+		t.Errorf("delay %v below gate-delay floor 4ns", straight)
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	nl := pipeline(t)
+	p := DefaultParams()
+	lb := LowerBound(nl, p)
+	if math.Abs(lb-4e-9) > 1e-15 {
+		t.Errorf("LowerBound = %v, want 4ns", lb)
+	}
+	full := NewAnalyzer(nl, p).Analyze().MaxDelay
+	if lb > full {
+		t.Error("lower bound exceeds actual delay")
+	}
+}
+
+func TestSequentialCellsCutPaths(t *testing.T) {
+	nl := pipeline(t)
+	p := DefaultParams()
+	uncut := NewAnalyzer(nl, p).Analyze().MaxDelay
+	// Making b sequential cuts the path at b: longest combinational path
+	// becomes b(launch) + wires + c + ... or pi..a..(into b).
+	nl.Cells[3].Seq = true
+	cut := NewAnalyzer(nl, p).Analyze().MaxDelay
+	if cut >= uncut {
+		t.Errorf("sequential cut did not reduce path: %v >= %v", cut, uncut)
+	}
+}
+
+func TestWideNetsExcluded(t *testing.T) {
+	b := netlist.NewBuilder("wide", geom.NewRegion(1, 1, 100))
+	b.AddPad("pi", geom.Point{X: 0, Y: 0.5})
+	names := []string{"pi"}
+	for i := 0; i < 70; i++ {
+		n := string(rune('a'+i%26)) + string(rune('0'+i/26))
+		b.AddCell(n, 1, 1)
+		b.SetCellTiming(n, 1e-9, false)
+		names = append(names, n)
+	}
+	b.Connect("wide", names...) // 71 pins > 60
+	nl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewAnalyzer(nl, DefaultParams()).Analyze()
+	if rep.Excluded != 1 {
+		t.Errorf("excluded = %d, want 1", rep.Excluded)
+	}
+	if !math.IsInf(rep.NetSlack[0], 1) {
+		t.Errorf("excluded net slack = %v, want +Inf", rep.NetSlack[0])
+	}
+}
+
+func TestAnalyzeToleratesCombinationalCycles(t *testing.T) {
+	b := netlist.NewBuilder("cyc", geom.NewRegion(1, 1, 10))
+	b.AddCell("a", 1, 1)
+	b.AddCell("b", 1, 1)
+	b.SetCellTiming("a", 1e-9, false)
+	b.SetCellTiming("b", 1e-9, false)
+	b.Connect("n0", "a", "b")
+	b.Connect("n1", "b", "a") // cycle
+	nl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewAnalyzer(nl, DefaultParams()).Analyze()
+	if math.IsInf(rep.MaxDelay, 1) || rep.MaxDelay <= 0 {
+		t.Errorf("cyclic MaxDelay = %v", rep.MaxDelay)
+	}
+}
+
+func TestSlackSignsAndCriticalNet(t *testing.T) {
+	nl := pipeline(t)
+	rep := NewAnalyzer(nl, DefaultParams()).Analyze()
+	// Every net on the critical path has ~zero slack; all slacks >= -eps.
+	minSlack := math.Inf(1)
+	for ni, s := range rep.NetSlack {
+		if !math.IsInf(s, 1) && s < -1e-12 {
+			t.Errorf("net %d slack %v below zero", ni, s)
+		}
+		if s < minSlack {
+			minSlack = s
+		}
+	}
+	if minSlack > 1e-12 {
+		t.Errorf("no zero-slack net on critical path (min %v)", minSlack)
+	}
+}
+
+func TestWeighterRaisesCriticalWeights(t *testing.T) {
+	nl := pipeline(t)
+	a := NewAnalyzer(nl, DefaultParams())
+	w := NewWeighter(nl)
+	rep := a.Analyze()
+	w.Update(nl, rep)
+	// All four nets lie on the single path; with CritFrac 0.03 and 4 nets,
+	// exactly 1 net is boosted strongly.
+	boosted := 0
+	for ni := range nl.Nets {
+		if nl.Nets[ni].Weight > 1.4 {
+			boosted++
+		}
+	}
+	if boosted != 1 {
+		t.Errorf("boosted nets = %d, want 1", boosted)
+	}
+}
+
+func TestWeighterConvergesToDoubling(t *testing.T) {
+	// A permanently critical net approaches weight multiplication by 2 per
+	// step: c -> 1, w *= (1+c).
+	nl := pipeline(t)
+	a := NewAnalyzer(nl, DefaultParams())
+	w := NewWeighter(nl)
+	var critNet int
+	for step := 0; step < 12; step++ {
+		rep := a.Analyze()
+		w.Update(nl, rep)
+		if step == 0 {
+			// Identify the boosted net.
+			for ni := range nl.Nets {
+				if w.Criticality(ni) > 0 {
+					critNet = ni
+				}
+			}
+		}
+	}
+	if c := w.Criticality(critNet); c < 0.9 {
+		t.Errorf("persistent criticality = %v, want -> 1", c)
+	}
+}
+
+func TestWeighterDecay(t *testing.T) {
+	nl := pipeline(t)
+	w := NewWeighter(nl)
+	w.crit[2] = 1.0
+	rep := Report{NetSlack: []float64{0, 1, 1, 1}} // net 0 most critical
+	w.Update(nl, rep)
+	if w.Criticality(2) != 0.5 {
+		t.Errorf("non-critical decay: %v, want 0.5", w.Criticality(2))
+	}
+	if w.Criticality(0) != 0.5 {
+		t.Errorf("fresh critical: %v, want 0.5", w.Criticality(0))
+	}
+}
+
+func TestWeighterReset(t *testing.T) {
+	nl := pipeline(t)
+	a := NewAnalyzer(nl, DefaultParams())
+	w := NewWeighter(nl)
+	w.Update(nl, a.Analyze())
+	w.Reset(nl)
+	for ni := range nl.Nets {
+		if nl.Nets[ni].Weight != 1 {
+			t.Errorf("net %d weight %v after reset", ni, nl.Nets[ni].Weight)
+		}
+		if w.Criticality(ni) != 0 {
+			t.Errorf("net %d criticality %v after reset", ni, w.Criticality(ni))
+		}
+	}
+}
+
+func TestWeighterNeverMarksExcludedNets(t *testing.T) {
+	nl := pipeline(t)
+	w := NewWeighter(nl)
+	inf := math.Inf(1)
+	w.Update(nl, Report{NetSlack: []float64{inf, inf, inf, inf}})
+	for ni := range nl.Nets {
+		if w.Criticality(ni) != 0 {
+			t.Errorf("net %d criticality %v from all-inf slacks", ni, w.Criticality(ni))
+		}
+	}
+}
+
+func TestPlaceDrivenImprovesTiming(t *testing.T) {
+	nl := netgen.Generate(netgen.Config{Name: "td", Cells: 400, Nets: 520, Rows: 10, Seed: 21})
+	params := DefaultParams()
+	res, err := PlaceDriven(nl.Clone(), placeCfg(), params, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Before <= 0 || res.After <= 0 {
+		t.Fatalf("degenerate delays: %+v", res)
+	}
+	if res.After >= res.Before {
+		t.Errorf("timing-driven placement did not improve: %.3g -> %.3g", res.Before, res.After)
+	}
+	if res.LowerBound <= 0 || res.LowerBound > res.After {
+		t.Errorf("lower bound %v inconsistent with after %v", res.LowerBound, res.After)
+	}
+	ex := res.Exploitation()
+	if ex <= 0 || ex > 1 {
+		t.Errorf("exploitation = %v", ex)
+	}
+	if res.Analyses == 0 {
+		t.Error("no analyses ran")
+	}
+}
+
+func TestMeetRequirement(t *testing.T) {
+	nl := netgen.Generate(netgen.Config{Name: "mr", Cells: 300, Nets: 400, Rows: 8, Seed: 22})
+	params := DefaultParams()
+
+	// First find the unoptimized delay, then require a modest improvement.
+	probe := nl.Clone()
+	if _, err := PlaceDriven(probe, placeCfg(), params, 0); err != nil {
+		t.Fatal(err)
+	}
+	base := probe // timing-driven placement result gives a reachable target
+	target := NewAnalyzer(base, params).Analyze().MaxDelay * 1.05
+
+	res, err := MeetRequirement(nl, placeCfg(), params, target, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curve) < 1 {
+		t.Fatal("no tradeoff curve recorded")
+	}
+	if res.Met {
+		// The guarantee: the returned placement itself meets the target.
+		if got := NewAnalyzer(nl, params).Analyze().MaxDelay; got > target*(1+1e-9) {
+			t.Errorf("claimed met but placement delay %v > target %v", got, target)
+		}
+	}
+	// Curve must start at the area-optimized placement (step 0).
+	if res.Curve[0].Step != 0 {
+		t.Errorf("curve starts at step %d", res.Curve[0].Step)
+	}
+}
+
+func TestMeetRequirementAlreadyMet(t *testing.T) {
+	nl := netgen.Generate(netgen.Config{Name: "mr2", Cells: 200, Nets: 260, Rows: 8, Seed: 23})
+	res, err := MeetRequirement(nl, placeCfg(), DefaultParams(), 1.0 /* 1 second: trivially met */, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Met || res.Steps != 0 {
+		t.Errorf("trivial requirement: met=%v steps=%d", res.Met, res.Steps)
+	}
+}
+
+// placeCfg keeps the driver tests fast: few iterations, coarse solver.
+func placeCfg() place.Config {
+	return place.Config{MaxIter: 60}
+}

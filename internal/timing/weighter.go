@@ -1,0 +1,129 @@
+package timing
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+// Weighter implements the paper's iterative net weighting (§5): each net
+// carries a criticality c that halves every step and gains ½ when the net
+// is among the CritFrac most critical nets; the net weight is multiplied by
+// (1 + c) each step. The geometric memory suppresses weight oscillation.
+type Weighter struct {
+	// CritFrac is the fraction of nets treated as critical per step; the
+	// paper uses the 3 % most critical nets.
+	CritFrac float64
+
+	crit      []float64
+	base      []float64 // original net weights, to allow Reset
+	lastDelta []weightDelta
+}
+
+// NewWeighter prepares criticality state for nl's nets.
+func NewWeighter(nl *netlist.Netlist) *Weighter {
+	w := &Weighter{CritFrac: 0.03, crit: make([]float64, len(nl.Nets)), base: make([]float64, len(nl.Nets))}
+	for ni := range nl.Nets {
+		w.base[ni] = nl.Nets[ni].Weight
+	}
+	return w
+}
+
+// Criticality returns the current criticality of net ni (0..1).
+func (w *Weighter) Criticality(ni int) float64 { return w.crit[ni] }
+
+// Update ranks nets by the report's slack, refreshes criticalities and
+// multiplies the net weights in place: w ← w·(1+c).
+func (w *Weighter) Update(nl *netlist.Netlist, rep Report) {
+	type ns struct {
+		net   int
+		slack float64
+	}
+	ranked := make([]ns, 0, len(nl.Nets))
+	for ni := range nl.Nets {
+		ranked = append(ranked, ns{ni, rep.NetSlack[ni]})
+	}
+	sort.Slice(ranked, func(a, b int) bool { return ranked[a].slack < ranked[b].slack })
+
+	nCrit := int(w.CritFrac * float64(len(ranked)))
+	if nCrit < 1 {
+		nCrit = 1
+	}
+	isCrit := make([]bool, len(nl.Nets))
+	for i := 0; i < nCrit && i < len(ranked); i++ {
+		// Nets with infinite slack (excluded from analysis) are never
+		// critical, even if the circuit has fewer analyzable nets.
+		if !isFinite(ranked[i].slack) {
+			break
+		}
+		isCrit[ranked[i].net] = true
+	}
+	w.lastDelta = w.lastDelta[:0]
+	for ni := range nl.Nets {
+		if isCrit[ni] {
+			w.crit[ni] = (w.crit[ni] + 1) / 2
+		} else {
+			w.crit[ni] = w.crit[ni] / 2
+		}
+		old := nl.Nets[ni].Weight
+		next := old * (1 + w.crit[ni])
+		// A permanently critical net doubles per step; cap the compounding
+		// so the matrix stays numerically tame over long runs.
+		if cap := 64 * w.base[ni]; next > cap {
+			next = cap
+		}
+		nl.Nets[ni].Weight = next
+		if d := next - old; d > 1e-3*old {
+			w.lastDelta = append(w.lastDelta, weightDelta{net: ni, dw: d})
+		}
+	}
+}
+
+type weightDelta struct {
+	net int
+	dw  float64
+}
+
+// PullForces converts the last Update's weight increases into the
+// equivalent spring-force imbalance at the current placement: raising net
+// j's weight by Δw pulls each of its pins toward the others with force
+// Δw/k·Σ(p_other − p_pin) (the clique-model gradient). Injecting these
+// forces into the placer contracts critical nets exactly as re-solving the
+// re-weighted system would.
+func (w *Weighter) PullForces(nl *netlist.Netlist) []geom.Point {
+	out := make([]geom.Point, len(nl.Cells))
+	for _, d := range w.lastDelta {
+		net := &nl.Nets[d.net]
+		k := len(net.Pins)
+		if k < 2 {
+			continue
+		}
+		scale := d.dw / float64(k)
+		// Centroid form of the clique gradient: Σ_j(p_j − p_i) =
+		// k·(centroid − p_i).
+		var centroid geom.Point
+		for _, p := range net.Pins {
+			centroid = centroid.Add(nl.PinPos(p))
+		}
+		centroid = centroid.Scale(1 / float64(k))
+		for _, p := range net.Pins {
+			if nl.Cells[p.Cell].Fixed {
+				continue
+			}
+			pull := centroid.Sub(nl.PinPos(p)).Scale(scale * float64(k))
+			out[p.Cell] = out[p.Cell].Add(pull)
+		}
+	}
+	return out
+}
+
+// Reset restores the original net weights and clears criticalities.
+func (w *Weighter) Reset(nl *netlist.Netlist) {
+	for ni := range nl.Nets {
+		nl.Nets[ni].Weight = w.base[ni]
+		w.crit[ni] = 0
+	}
+}
+
+func isFinite(f float64) bool { return f == f && f < 1e308 && f > -1e308 }

@@ -1,0 +1,101 @@
+package visual
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+func demo(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	b := netlist.NewBuilder("v", geom.NewRegion(8, 1, 32))
+	b.AddPad("p", geom.Point{X: 0, Y: 4})
+	b.AddCell("a", 1, 1)
+	b.AddBlock("blk", 8, 4)
+	b.Connect("n", "p", "a", "blk")
+	nl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl.Cells[1].Pos = geom.Point{X: 4, Y: 1}
+	nl.Cells[2].Pos = geom.Point{X: 20, Y: 6}
+	return nl
+}
+
+func TestPlotMarksEverything(t *testing.T) {
+	nl := demo(t)
+	var sb strings.Builder
+	Plot(&sb, nl, 32, 8)
+	out := sb.String()
+	if !strings.Contains(out, "*") {
+		t.Error("pad marker missing")
+	}
+	if !strings.Contains(out, "#") {
+		t.Error("block marker missing")
+	}
+	if !strings.Contains(out, "1") {
+		t.Error("cell count missing")
+	}
+	if lines := strings.Count(out, "\n"); lines != 10 { // 8 rows + 2 borders
+		t.Errorf("plot has %d lines", lines)
+	}
+}
+
+func TestPlotClampsTinySizes(t *testing.T) {
+	nl := demo(t)
+	var sb strings.Builder
+	Plot(&sb, nl, 1, 1) // clamped to minimum 8x4
+	if !strings.Contains(sb.String(), "+--------+") {
+		t.Error("minimum width not enforced")
+	}
+}
+
+func TestPlotCapsCountsAtNine(t *testing.T) {
+	b := netlist.NewBuilder("many", geom.NewRegion(4, 1, 16))
+	names := make([]string, 30)
+	for i := range names {
+		names[i] = string(rune('a'+i%26)) + string(rune('0'+i/26))
+		b.AddCell(names[i], 0.1, 0.1)
+	}
+	b.Connect("n", names...)
+	nl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range nl.Cells {
+		nl.Cells[i].Pos = geom.Point{X: 8, Y: 2}
+	}
+	var sb strings.Builder
+	Plot(&sb, nl, 16, 4)
+	if !strings.Contains(sb.String(), "9") {
+		t.Error("count cap marker missing")
+	}
+}
+
+func TestHeatRamp(t *testing.T) {
+	data := []float64{0, 1, 2, 3, 4, 5, 6, 7}
+	var sb strings.Builder
+	Heat(&sb, data, 4, 2)
+	out := sb.String()
+	if !strings.Contains(out, "@") {
+		t.Error("peak marker missing")
+	}
+	if !strings.Contains(out, " ") {
+		t.Error("zero marker missing")
+	}
+	// Row order: top line shows the higher-index row.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 3 || !strings.Contains(lines[1], "@") {
+		t.Errorf("top row should hold the peak: %q", out)
+	}
+}
+
+func TestHeatAllZeros(t *testing.T) {
+	var sb strings.Builder
+	Heat(&sb, make([]float64, 8), 4, 2)
+	if strings.Contains(sb.String(), "@") {
+		t.Error("zero field rendered hot")
+	}
+}

@@ -1,0 +1,137 @@
+package placement_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	placement "repro"
+)
+
+// TestPublicAPIQuickstart walks the README's quickstart path end to end
+// through the public facade only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	b := placement.NewBuilder("api", placement.NewRegion(6, 1, 30))
+	b.AddPad("in", placement.Pt(0, 3))
+	b.AddPad("out", placement.Pt(30, 3))
+	for i := 0; i < 30; i++ {
+		b.AddCell(name(i), 1.5, 1)
+	}
+	b.Connect("nin", "in", name(0), name(1))
+	for i := 0; i+3 < 30; i++ {
+		b.Connect("n"+name(i), name(i), name(i+2), name(i+3))
+	}
+	b.Connect("nout", name(29), "out")
+	nl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := placement.Global(nl, placement.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations == 0 {
+		t.Fatal("no iterations ran")
+	}
+	lres, err := placement.Legalize(nl, placement.LegalizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.OverlapArea() > 1e-6 {
+		t.Errorf("overlap after public-API flow: %v", nl.OverlapArea())
+	}
+	if lres.HPWLAfter <= 0 {
+		t.Error("no wire length reported")
+	}
+}
+
+func name(i int) string { return string(rune('a'+i/10)) + string(rune('0'+i%10)) }
+
+func TestPublicAPINetlistIO(t *testing.T) {
+	nl := placement.Generate(placement.GenConfig{
+		Name: "io", Cells: 50, Nets: 60, Rows: 4, Seed: 3,
+	})
+	var buf bytes.Buffer
+	if err := placement.WriteNetlist(&buf, nl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := placement.ReadNetlist(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if placement.ComputeStats(got).Cells != 50 {
+		t.Error("round trip lost cells")
+	}
+}
+
+func TestPublicAPISuite(t *testing.T) {
+	suite := placement.MCNCSuite()
+	if len(suite) != 9 {
+		t.Fatalf("suite size %d", len(suite))
+	}
+	nl := placement.GenerateSuite(suite[0], 1, 1)
+	if placement.ComputeStats(nl).Cells != suite[0].Cells {
+		t.Error("suite generation mismatch")
+	}
+}
+
+func TestPublicAPITimingFlow(t *testing.T) {
+	nl := placement.Generate(placement.GenConfig{
+		Name: "tapi", Cells: 150, Nets: 200, Rows: 6, Seed: 5,
+	})
+	params := placement.CalibratedTimingParams(nl)
+	res, err := placement.GlobalTimingDriven(nl, placement.Config{MaxIter: 40}, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.After <= 0 || res.Before <= 0 {
+		t.Fatalf("bad timing result %+v", res)
+	}
+	rep := placement.AnalyzeTiming(nl, params)
+	if rep.MaxDelay <= 0 {
+		t.Error("analysis returned no delay")
+	}
+	if lb := placement.TimingLowerBound(nl, params); lb > rep.MaxDelay {
+		t.Error("lower bound above actual")
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	nl := placement.Generate(placement.GenConfig{
+		Name: "base", Cells: 100, Nets: 130, Rows: 4, Seed: 7,
+	})
+	if _, err := placement.GlobalGordian(nl.Clone(), placement.GordianConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := placement.GlobalAnneal(nl.Clone(), placement.AnnealConfig{Effort: placement.AnnealMedium}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIECO(t *testing.T) {
+	nl := placement.Generate(placement.GenConfig{
+		Name: "ecoapi", Cells: 120, Nets: 160, Rows: 6, Seed: 9,
+	})
+	if _, err := placement.Global(nl, placement.Config{MaxIter: 40}); err != nil {
+		t.Fatal(err)
+	}
+	pre := nl.Snapshot()
+	newIdx := len(nl.Cells)
+	added, err := placement.ApplyECO(nl, []placement.ECOChange{
+		{RemoveNet: -1, AddCell: &placement.Cell{Name: "new", W: 2, H: 1}},
+		{RemoveNet: -1, AddNet: &placement.Net{Name: "nn", Pins: []placement.Pin{
+			{Cell: newIdx, Dir: placement.Output}, {Cell: 5, Dir: placement.Input},
+		}}},
+	})
+	if err != nil || len(added) != 1 {
+		t.Fatalf("ApplyECO: %v %v", added, err)
+	}
+	res, err := placement.ReplaceECO(nl, pre, placement.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxDisplacement > nl.Region.W() {
+		t.Error("ECO displaced cells across the chip")
+	}
+}
