@@ -10,15 +10,32 @@
 //
 // The suite is scaled by -scale (default 0.12) so a full run finishes in
 // minutes; -scale 1 reproduces the published circuit sizes (hours).
+//
+// Observability:
+//
+//	-trace run.jsonl     stream one JSON line per Kraftwerk transformation,
+//	                     labeled with the circuit and engine
+//	-metrics             dump the metrics registry (Prometheus text) on exit
+//	-cpuprofile cpu.pb   write a runtime/pprof CPU profile
+//	-memprofile mem.pb   write a heap profile on exit
+//	-http :6060          debug server with /metrics and /debug/pprof/
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/bench"
+	"repro/internal/density"
+	"repro/internal/fft"
+	"repro/internal/obsv"
+	"repro/internal/sparse"
 )
 
 func main() {
@@ -33,6 +50,12 @@ func main() {
 		seed     = flag.Int64("seed", 1998, "generation seed")
 		circuits = flag.String("circuits", "", "comma-separated circuit filter (e.g. fract,struct)")
 		quiet    = flag.Bool("q", false, "suppress per-engine progress lines")
+
+		tracePath = flag.String("trace", "", "write a JSONL run trace (one record per transformation)")
+		metrics   = flag.Bool("metrics", false, "dump the metrics registry as Prometheus text on exit")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		httpAddr  = flag.String("http", "", "serve /metrics and /debug/pprof/ on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
@@ -42,6 +65,39 @@ func main() {
 	}
 	if !*quiet {
 		opts.Progress = os.Stderr
+	}
+
+	if *metrics || *httpAddr != "" {
+		opts.Metrics = obsv.NewRegistry()
+		sparse.EnableMetrics(opts.Metrics)
+		density.EnableMetrics(opts.Metrics)
+		fft.EnableMetrics(opts.Metrics)
+	}
+	if *tracePath != "" {
+		trace, err := obsv.OpenTrace(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Trace = trace
+	}
+	if *httpAddr != "" {
+		http.Handle("/metrics", opts.Metrics)
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+				log.Printf("debug server: %v", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "debug server on %s (/metrics, /debug/pprof/)\n", *httpAddr)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	ran := false
@@ -108,6 +164,30 @@ func main() {
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if err := opts.Trace.Close(); err != nil {
+		log.Fatalf("trace: %v", err)
+	}
+	if *tracePath != "" {
+		fmt.Fprintf(os.Stderr, "wrote trace %s\n", *tracePath)
+	}
+	if *metrics {
+		fmt.Println("\nmetrics:")
+		if err := opts.Metrics.WritePrometheus(os.Stdout); err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
 	}
 }
 

@@ -5,23 +5,39 @@
 //
 // With -gen cells:nets:rows a synthetic circuit is generated instead of
 // reading -in.
+//
+// Observability:
+//
+//	-trace run.jsonl     stream one JSON line per placement transformation
+//	-metrics             dump the metrics registry (Prometheus text) on exit
+//	-cpuprofile cpu.pb   write a runtime/pprof CPU profile
+//	-memprofile mem.pb   write a heap profile on exit
+//	-http :6060          debug server with /metrics and /debug/pprof/
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/anneal"
+	"repro/internal/density"
+	"repro/internal/fft"
 	"repro/internal/gordian"
 	"repro/internal/legalize"
 	"repro/internal/netgen"
 	"repro/internal/netlist"
+	"repro/internal/obsv"
 	"repro/internal/place"
+	"repro/internal/sparse"
 	"repro/internal/timing"
 	"repro/internal/visual"
 )
@@ -42,8 +58,52 @@ func main() {
 		legal   = flag.Bool("legalize", true, "run legalization/detailed placement afterwards")
 		plot    = flag.Bool("plot", false, "print an ASCII plot of the result")
 		maxIter = flag.Int("maxiter", 0, "iteration cap (0 = default)")
+
+		tracePath = flag.String("trace", "", "write a JSONL run trace (one record per transformation)")
+		metrics   = flag.Bool("metrics", false, "dump the metrics registry as Prometheus text on exit")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		httpAddr  = flag.String("http", "", "serve /metrics and /debug/pprof/ on this address (e.g. :6060)")
 	)
 	flag.Parse()
+
+	// Observability sinks. Spans are always on (the cost is a handful of
+	// clock reads per pass); the registry only when something consumes it.
+	spans := obsv.NewSpans()
+	var reg *obsv.Registry
+	if *metrics || *httpAddr != "" {
+		reg = obsv.NewRegistry()
+		sparse.EnableMetrics(reg)
+		density.EnableMetrics(reg)
+		fft.EnableMetrics(reg)
+	}
+	var trace *obsv.TraceWriter
+	if *tracePath != "" {
+		var err error
+		trace, err = obsv.OpenTrace(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *httpAddr != "" {
+		http.Handle("/metrics", reg)
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+				log.Printf("debug server: %v", err)
+			}
+		}()
+		fmt.Printf("debug server on %s (/metrics, /debug/pprof/)\n", *httpAddr)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	nl, err := load(*in, *aux, *gen, *seed)
 	if err != nil {
@@ -55,13 +115,20 @@ func main() {
 	start := time.Now()
 	switch *engine {
 	case "kraftwerk":
-		cfg := place.Config{K: *k, MaxIter: *maxIter}
+		cfg := place.Config{
+			K: *k, MaxIter: *maxIter,
+			Spans: spans, Metrics: reg,
+		}
+		if trace != nil {
+			cfg.OnIteration = func(s place.IterStats) { _ = trace.Write(s) }
+		}
 		if *doTime {
 			params := timing.Calibrated(nl)
 			res, err := timing.PlaceDriven(nl, cfg, params, 0)
 			if err != nil {
 				log.Fatal(err)
 			}
+			printRunSummary(res.Place)
 			fmt.Printf("timing: %.3g ns -> %.3g ns (lower bound %.3g ns, exploitation %.0f%%)\n",
 				res.Before*1e9, res.After*1e9, res.LowerBound*1e9, 100*res.Exploitation())
 			timing.WriteReport(os.Stdout, nl, params, timing.NewAnalyzer(nl, params).Analyze())
@@ -70,8 +137,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			fmt.Printf("global: %d iterations (%s), overflow %.3f\n",
-				res.Iterations, res.StopReason, res.Overflow)
+			printRunSummary(res)
 		}
 	case "gordian":
 		res, err := gordian.Place(nl, gordian.Config{Seed: *seed})
@@ -91,7 +157,7 @@ func main() {
 	}
 
 	if *legal && len(nl.Region.Rows) > 0 {
-		lres, err := legalize.Legalize(nl, legalize.Options{})
+		lres, err := legalize.Legalize(nl, legalize.Options{Spans: spans})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -100,6 +166,11 @@ func main() {
 	}
 	fmt.Printf("HPWL %.1f units, overlap %.2f, %.2fs\n",
 		nl.HPWL(), nl.OverlapArea(), time.Since(start).Seconds())
+
+	if len(spans.Snapshot()) > 0 {
+		fmt.Println("\nphase breakdown:")
+		spans.WriteTable(os.Stdout)
+	}
 
 	if *plot {
 		visual.Plot(os.Stdout, nl, 100, 24)
@@ -114,6 +185,52 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *out)
+	}
+
+	if err := trace.Close(); err != nil {
+		log.Fatalf("trace: %v", err)
+	}
+	if *tracePath != "" {
+		fmt.Printf("wrote trace %s\n", *tracePath)
+	}
+	if *metrics {
+		fmt.Println("\nmetrics:")
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// printRunSummary reports how and why a Kraftwerk run ended, with the
+// per-phase time breakdown of the global placement loop.
+func printRunSummary(res place.Result) {
+	fmt.Printf("global: %d iterations, stopped on %s, overflow %.3f, %.2fs\n",
+		res.Iterations, res.StopReason, res.Overflow, res.Runtime.Seconds())
+	p := res.Phases
+	if p.Step > 0 {
+		line := func(name string, d time.Duration) {
+			fmt.Printf("  %-12s %10.3fs  %5.1f%%\n", name, d.Seconds(), 100*d.Seconds()/p.Step.Seconds())
+		}
+		fmt.Printf("  per-phase breakdown of %.2fs in transformations:\n", p.Step.Seconds())
+		if p.Weight > 0 {
+			line("weight", p.Weight)
+		}
+		line("gather", p.Gather)
+		line("field", p.Field)
+		line("build", p.Build)
+		line("solve-x", p.SolveX)
+		line("solve-y", p.SolveY)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"repro/internal/legalize"
 	"repro/internal/netgen"
 	"repro/internal/netlist"
+	"repro/internal/obsv"
 	"repro/internal/place"
 	"repro/internal/timing"
 )
@@ -35,6 +36,12 @@ type Options struct {
 	Circuits []string
 	// Progress, when non-nil, receives one line per engine run.
 	Progress io.Writer
+	// Trace, when non-nil, receives one JSONL record per Kraftwerk
+	// placement transformation, labeled with the circuit and engine.
+	Trace *obsv.TraceWriter
+	// Metrics, when non-nil, collects the stack's counters and histograms
+	// (CG solves, field evaluations, transformation timings).
+	Metrics *obsv.Registry
 }
 
 func (o *Options) setDefaults() {
@@ -62,6 +69,34 @@ func (o *Options) logf(format string, args ...any) {
 	if o.Progress != nil {
 		fmt.Fprintf(o.Progress, format, args...)
 	}
+}
+
+// traceRec is one harness run-trace line: the per-transformation stats
+// labeled with their circuit and engine.
+type traceRec struct {
+	Circuit string `json:"circuit"`
+	Engine  string `json:"engine"`
+	place.IterStats
+}
+
+// placeCfg threads the harness's observability options into a Kraftwerk
+// config. Result.Trace retention is always suppressed — the harness only
+// reads run aggregates, and at -scale 1 the O(iterations) stats of nine
+// circuits are pure ballast.
+func (o *Options) placeCfg(cfg place.Config, circuit string) place.Config {
+	cfg.NoTrace = true
+	cfg.Metrics = o.Metrics
+	if o.Trace != nil {
+		prev := cfg.OnIteration
+		trace := o.Trace
+		cfg.OnIteration = func(s place.IterStats) {
+			if prev != nil {
+				prev(s)
+			}
+			_ = trace.Write(traceRec{Circuit: circuit, Engine: "kraftwerk", IterStats: s})
+		}
+	}
+	return cfg
 }
 
 // metersPerUnit converts layout units to meters for the wire-length
@@ -105,7 +140,7 @@ func RunTable1(opts Options) []Table1Row {
 		opts.logf("%-10s tw-med   wl %.4g m cpu %.2fs\n", c.Name, row.TWMed.WL, row.TWMed.CPU)
 		row.Gord = runGordian(base, gordian.Config{Seed: opts.Seed})
 		opts.logf("%-10s gordian  wl %.4g m cpu %.2fs\n", c.Name, row.Gord.WL, row.Gord.CPU)
-		row.Ours = runKraftwerk(base, place.Config{})
+		row.Ours = runKraftwerk(&opts, base, place.Config{})
 		opts.logf("%-10s ours     wl %.4g m cpu %.2fs\n", c.Name, row.Ours.WL, row.Ours.CPU)
 
 		rows = append(rows, row)
@@ -145,10 +180,10 @@ func runGordian(base *netlist.Netlist, cfg gordian.Config) EngineRun {
 	return EngineRun{WL: nl.HPWL() * metersPerUnit, CPU: time.Since(start).Seconds()}
 }
 
-func runKraftwerk(base *netlist.Netlist, cfg place.Config) EngineRun {
+func runKraftwerk(o *Options, base *netlist.Netlist, cfg place.Config) EngineRun {
 	nl := base.Clone()
 	start := time.Now()
-	if _, err := place.Global(nl, cfg); err != nil {
+	if _, err := place.Global(nl, o.placeCfg(cfg, base.Name)); err != nil {
 		return EngineRun{}
 	}
 	finish(nl)

@@ -34,8 +34,8 @@ func RunFastVsStandard(opts Options) []FastRow {
 		}
 		base := netgen.GenerateSuite(c, opts.Scale, opts.Seed)
 
-		std := runKraftwerk(base, place.Config{K: 0.2})
-		fast := runKraftwerk(base, place.Config{K: 1.0})
+		std := runKraftwerk(&opts, base, place.Config{K: 0.2})
+		fast := runKraftwerk(&opts, base, place.Config{K: 1.0})
 		opts.logf("%-10s std %.4g m %.2fs | fast %.4g m %.2fs\n",
 			c.Name, std.WL, std.CPU, fast.WL, fast.CPU)
 
@@ -103,7 +103,7 @@ func RunTradeoff(opts Options, circuit string, fraction float64) (TradeoffResult
 
 	// Probe the unoptimized delay to set a requirement.
 	probe := nl.Clone()
-	if _, err := place.Global(probe, place.Config{}); err != nil {
+	if _, err := place.Global(probe, opts.placeCfg(place.Config{}, circuit)); err != nil {
 		return TradeoffResult{}, err
 	}
 	unopt := timing.NewAnalyzer(probe, params).Analyze().MaxDelay
@@ -111,7 +111,7 @@ func RunTradeoff(opts Options, circuit string, fraction float64) (TradeoffResult
 	req := unopt - fraction*(unopt-lb)
 
 	start := time.Now()
-	res, err := timing.MeetRequirement(nl, place.Config{}, params, req, 0)
+	res, err := timing.MeetRequirement(nl, opts.placeCfg(place.Config{}, circuit), params, req, 0)
 	if err != nil {
 		return TradeoffResult{}, err
 	}

@@ -53,7 +53,7 @@ func RunTable3(opts Options) []Table3Row {
 		opts.logf("%-10s tw-timing  %.3g -> %.3g ns (%.2fs)\n", c.Name, row.TW.Without, row.TW.With, row.TW.CPU)
 		row.Speed = runSpeed(base, params)
 		opts.logf("%-10s speed      %.3g -> %.3g ns (%.2fs)\n", c.Name, row.Speed.Without, row.Speed.With, row.Speed.CPU)
-		row.Ours = runOursTiming(base, params)
+		row.Ours = runOursTiming(&opts, base, params)
 		opts.logf("%-10s ours       %.3g -> %.3g ns (%.2fs)\n", c.Name, row.Ours.Without, row.Ours.With, row.Ours.CPU)
 
 		rows = append(rows, row)
@@ -113,10 +113,10 @@ func runSpeed(base *netlist.Netlist, params timing.Params) TimingRun {
 
 // runOursTiming is the paper's method: iterative criticality weighting
 // inside the force-directed loop (§5).
-func runOursTiming(base *netlist.Netlist, params timing.Params) TimingRun {
+func runOursTiming(o *Options, base *netlist.Netlist, params timing.Params) TimingRun {
 	// Without: plain Kraftwerk.
 	plain := base.Clone()
-	if _, err := place.Global(plain, place.Config{}); err != nil {
+	if _, err := place.Global(plain, o.placeCfg(place.Config{}, base.Name)); err != nil {
 		return TimingRun{}
 	}
 	finish(plain)
@@ -124,7 +124,7 @@ func runOursTiming(base *netlist.Netlist, params timing.Params) TimingRun {
 
 	nl := base.Clone()
 	start := time.Now()
-	if _, err := timing.PlaceDriven(nl, place.Config{}, params, without); err != nil {
+	if _, err := timing.PlaceDriven(nl, o.placeCfg(place.Config{}, base.Name), params, without); err != nil {
 		return TimingRun{}
 	}
 	finish(nl)

@@ -2,9 +2,11 @@ package density
 
 import (
 	"math"
+	"time"
 
 	"repro/internal/fft"
 	"repro/internal/geom"
+	"repro/internal/obsv"
 )
 
 // Field is the force field induced by a density map, sampled at bin
@@ -30,6 +32,28 @@ const (
 	FFT
 )
 
+// fieldSeconds times field evaluations per effective method (indexed by
+// Direct/FFT). Nil until EnableMetrics; a nil histogram skips even the
+// clock reads.
+var fieldSeconds [3]*obsv.Histogram
+
+// EnableMetrics registers field-evaluation timing in r:
+//
+//	density_field_seconds{method="direct"|"fft"}
+//
+// labeled by the *effective* method (Auto resolves before recording).
+// Passing nil detaches the package from any registry.
+func EnableMetrics(r *obsv.Registry) {
+	if r == nil {
+		fieldSeconds = [3]*obsv.Histogram{}
+		return
+	}
+	fieldSeconds[Direct] = r.Histogram(`density_field_seconds{method="direct"}`,
+		"force-field evaluation wall time in seconds", obsv.SecondsBuckets)
+	fieldSeconds[FFT] = r.Histogram(`density_field_seconds{method="fft"}`,
+		"force-field evaluation wall time in seconds", obsv.SecondsBuckets)
+}
+
 // ComputeField evaluates the force field of g's current density map.
 func ComputeField(g *Grid, m Method) *Field {
 	if m == Auto {
@@ -39,14 +63,23 @@ func ComputeField(g *Grid, m Method) *Field {
 			m = Direct
 		}
 	}
+	var start time.Time
+	if fieldSeconds[m] != nil {
+		start = time.Now()
+	}
+	var f *Field
 	switch m {
 	case Direct:
-		return computeDirect(g)
+		f = computeDirect(g)
 	case FFT:
-		return computeFFT(g)
+		f = computeFFT(g)
 	default:
 		panic("density: unknown field method")
 	}
+	if h := fieldSeconds[m]; h != nil {
+		h.Observe(time.Since(start).Seconds())
+	}
+	return f
 }
 
 // computeDirect evaluates f(r) = Σ_b D_b · (r − r_b) / (2π·|r − r_b|²) at

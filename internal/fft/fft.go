@@ -8,7 +8,27 @@ import (
 	"math"
 	"math/bits"
 	"math/cmplx"
+	"time"
+
+	"repro/internal/obsv"
 )
+
+// convolveSeconds times Convolve2D calls; nil (free) until EnableMetrics.
+var convolveSeconds *obsv.Histogram
+
+// EnableMetrics registers transform timing in r:
+//
+//	fft_convolve_seconds — wall time of each 2-D convolution
+//
+// Passing nil detaches the package from any registry.
+func EnableMetrics(r *obsv.Registry) {
+	if r == nil {
+		convolveSeconds = nil
+		return
+	}
+	convolveSeconds = r.Histogram("fft_convolve_seconds",
+		"2-D FFT convolution wall time in seconds", obsv.SecondsBuckets)
+}
 
 // IsPow2 reports whether n is a positive power of two.
 func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
@@ -132,6 +152,10 @@ func (g *Grid) transform2D(inverse bool) {
 func Convolve2D(dst, src, kernel []float64, w, h int) {
 	if len(dst) != w*h || len(src) != w*h || len(kernel) != w*h {
 		panic("fft: Convolve2D dimension mismatch")
+	}
+	if convolveSeconds != nil {
+		start := time.Now()
+		defer func() { convolveSeconds.Observe(time.Since(start).Seconds()) }()
 	}
 	a := NewGrid(w, h)
 	b := NewGrid(w, h)

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/netlist"
+	"repro/internal/obsv"
 )
 
 // Options controls legalization.
@@ -29,6 +30,10 @@ type Options struct {
 	// BlockRowFactor: movable cells taller than this many row heights are
 	// treated as macro blocks (default 1.5).
 	BlockRowFactor float64
+	// Spans, when set, receives pass-level span recordings
+	// ("legalize/blocks", "legalize/assign", "legalize/clump",
+	// "legalize/detailed"). Nil costs nothing.
+	Spans *obsv.Spans
 }
 
 func (o *Options) setDefaults() {
@@ -82,17 +87,24 @@ func Legalize(nl *netlist.Netlist, opts Options) (Result, error) {
 	}
 	res.Blocks = len(blocks)
 
+	sp := opts.Spans.Start("legalize/blocks")
 	LegalizeBlocks(nl, blocks)
 	segs := buildSegments(nl, blocks)
+	sp.End()
+	sp = opts.Spans.Start("legalize/assign")
 	if err := assignCells(nl, cells, segs, opts); err != nil {
 		return res, err
 	}
+	sp.End()
+	sp = opts.Spans.Start("legalize/clump")
 	clumpSegments(nl, segs)
+	sp.End()
 
 	// Iterate the Domino-style improvement (global swaps toward optimal
 	// regions, then window permutations) until it stops paying: each round
 	// re-clumps, so later rounds see the repaired geometry.
 	if opts.DetailedPasses > 0 {
+		sp = opts.Spans.Start("legalize/detailed")
 		prev := nl.HPWL()
 		for round := 0; round < 10; round++ {
 			sw := GlobalSwapPass(nl, segs, opts.DetailedPasses)
@@ -105,6 +117,7 @@ func Legalize(nl *netlist.Netlist, opts Options) (Result, error) {
 			}
 			prev = cur
 		}
+		sp.End()
 	}
 
 	after := nl.Snapshot()

@@ -17,6 +17,7 @@ import (
 	"repro/internal/fft"
 	"repro/internal/geom"
 	"repro/internal/netlist"
+	"repro/internal/obsv"
 	"repro/internal/qp"
 	"repro/internal/sparse"
 )
@@ -67,6 +68,20 @@ type Config struct {
 	// fraction of the field maximum. ECO uses it so only the surroundings
 	// of a netlist change move, leaving the converged remainder untouched.
 	ForceFloor float64
+	// NoTrace suppresses Result.Trace accumulation in Run, so long
+	// MaxIter runs on large designs don't retain O(iterations) stats the
+	// caller never reads. Per-run aggregates (Result.Phases, HPWL,
+	// Overflow, Iterations) are still filled, and OnIteration still fires.
+	NoTrace bool
+	// Spans, when set, receives per-phase span recordings
+	// ("place/gather", "place/field", "place/build", "place/solve-x",
+	// "place/solve-y", "place/weight", "place/step") for every placement
+	// transformation. Nil costs nothing.
+	Spans *obsv.Spans
+	// Metrics, when set, receives the run's counters and gauges
+	// (place_transformations_total, place_hpwl, place_overflow,
+	// place_step_seconds). Nil costs nothing.
+	Metrics *obsv.Registry
 }
 
 func (c *Config) setDefaults(nl *netlist.Netlist) {
@@ -123,15 +138,51 @@ func gridDims(nl *netlist.Netlist, bins int) (nx, ny int) {
 	return clamp(nx), clamp(ny)
 }
 
-// IterStats describes one completed placement transformation.
+// IterStats describes one completed placement transformation. The JSON
+// tags define the run-trace (JSONL) schema: one object per
+// transformation, durations as integer nanoseconds.
 type IterStats struct {
-	Iter        int
-	HPWL        float64
-	Overflow    float64
-	EmptySquare float64 // largest empty square area
-	MaxForce    float64 // force increment magnitude before accumulation
-	CGIterX     int
-	CGIterY     int
+	Iter        int     `json:"iter"`
+	HPWL        float64 `json:"hpwl"`
+	Overflow    float64 `json:"overflow"`
+	EmptySquare float64 `json:"empty_square"` // largest empty square area
+	MaxForce    float64 `json:"max_force"`    // force increment magnitude before accumulation
+	CGIterX     int     `json:"cg_iter_x"`
+	CGIterY     int     `json:"cg_iter_y"`
+	CGResidX    float64 `json:"cg_resid_x"` // final relative residual, x solve
+	CGResidY    float64 `json:"cg_resid_y"` // final relative residual, y solve
+
+	// Per-phase wall times of this transformation. The x and y solves run
+	// concurrently, so TSolveX+TSolveY can exceed TStep; the sequential
+	// phases plus max(TSolveX, TSolveY) are bounded by TStep.
+	TWeight time.Duration `json:"t_weight_ns"` // BeforeTransform (net-weight update)
+	TGather time.Duration `json:"t_gather_ns"` // density accumulation (fine + coarse grids)
+	TField  time.Duration `json:"t_field_ns"`  // Poisson force-field evaluation
+	TBuild  time.Duration `json:"t_build_ns"`  // quadratic system assembly
+	TSolveX time.Duration `json:"t_solve_x_ns"`
+	TSolveY time.Duration `json:"t_solve_y_ns"`
+	TStep   time.Duration `json:"t_step_ns"` // whole transformation
+}
+
+// PhaseTotals accumulates per-phase durations over a run.
+type PhaseTotals struct {
+	Weight time.Duration
+	Gather time.Duration
+	Field  time.Duration
+	Build  time.Duration
+	SolveX time.Duration
+	SolveY time.Duration
+	Step   time.Duration // total transformation wall time
+}
+
+func (p *PhaseTotals) add(s IterStats) {
+	p.Weight += s.TWeight
+	p.Gather += s.TGather
+	p.Field += s.TField
+	p.Build += s.TBuild
+	p.SolveX += s.TSolveX
+	p.SolveY += s.TSolveY
+	p.Step += s.TStep
 }
 
 // Result summarizes a full run.
@@ -145,7 +196,10 @@ type Result struct {
 	HPWL       float64
 	Overflow   float64
 	Runtime    time.Duration
-	Trace      []IterStats
+	// Phases breaks the run's time down by transformation phase; filled
+	// even with NoTrace set.
+	Phases PhaseTotals
+	Trace  []IterStats
 }
 
 // Placer carries the mutable state of the iterative algorithm.
@@ -157,6 +211,28 @@ type Placer struct {
 	forces  []geom.Point  // accumulated additional forces e (one per cell)
 	pending []geom.Point  // externally queued forces for the next Step
 	iter    int
+	met     placeMetrics
+}
+
+// placeMetrics caches the registry handles resolved once in New; all are
+// nil (free no-ops) when Config.Metrics is unset.
+type placeMetrics struct {
+	steps       *obsv.Counter
+	hpwl        *obsv.Gauge
+	overflow    *obsv.Gauge
+	stepSeconds *obsv.Histogram
+}
+
+func newPlaceMetrics(r *obsv.Registry) placeMetrics {
+	if r == nil {
+		return placeMetrics{}
+	}
+	return placeMetrics{
+		steps:       r.Counter("place_transformations_total", "placement transformations executed"),
+		hpwl:        r.Gauge("place_hpwl", "current half-perimeter wire length in layout units"),
+		overflow:    r.Gauge("place_overflow", "current density overflow fraction"),
+		stepSeconds: r.Histogram("place_step_seconds", "placement transformation wall time in seconds", obsv.SecondsBuckets),
+	}
 }
 
 // Pull queues additional per-cell forces (indexed like the netlist's cells)
@@ -204,6 +280,7 @@ func New(nl *netlist.Netlist, cfg Config) *Placer {
 		grid:   density.NewGrid(nl.Region.Outline, nx, ny),
 		coarse: density.NewGrid(nl.Region.Outline, cnx, cny),
 		forces: make([]geom.Point, len(nl.Cells)),
+		met:    newPlaceMetrics(cfg.Metrics),
 	}
 }
 
@@ -246,20 +323,30 @@ func (p *Placer) Initialize() error {
 func (p *Placer) Step() (IterStats, error) {
 	nl := p.nl
 	cfg := &p.cfg
+	stepStart := time.Now()
+	var tWeight, tGather, tField, tBuild time.Duration
 	if cfg.BeforeTransform != nil {
 		cfg.BeforeTransform(p.iter, p)
+		tWeight = time.Since(stepStart)
 	}
 
 	// Density of the current placement (with any injected extra demand).
+	mark := time.Now()
 	if cfg.ExtraDemand != nil {
 		p.grid.SetExtra(cfg.ExtraDemand(p.grid))
 	}
 	p.grid.Accumulate(nl)
+	tGather = time.Since(mark)
+
+	mark = time.Now()
 	field := density.ComputeField(p.grid, cfg.FieldMethod)
+	tField = time.Since(mark)
 
 	// Assemble the (possibly re-linearized) quadratic system; the force
 	// normalization depends on its stiffness.
+	mark = time.Now()
 	sys := qp.Build(nl, qp.Options{Linearize: !cfg.NoLinearize, Model: cfg.NetModel})
+	tBuild = time.Since(mark)
 
 	// Force increment normalization (§4.1): the strongest field force is
 	// scaled to the pull of a net of length K·(W+H). Two refinements over
@@ -275,7 +362,9 @@ func (p *Placer) Step() (IterStats, error) {
 	// the density has flattened). Attenuate by the coarse-grid overflow —
 	// the fraction of cell area still genuinely clumped — so kicks decay
 	// to near zero as the distribution evens out.
+	mark = time.Now()
 	p.coarse.Accumulate(nl)
+	tGather += time.Since(mark)
 	atten := math.Min(1, p.coarse.Overflow()/0.2)
 	if atten < 0.02 {
 		atten = 0.02
@@ -357,7 +446,9 @@ func (p *Placer) Step() (IterStats, error) {
 		c.Pos = out.ClampCenter(c.Pos, math.Min(c.W, out.W()), math.Min(c.H, out.H()))
 	}
 
+	mark = time.Now()
 	p.grid.Accumulate(nl) // refresh density for stats/stopping
+	tGather += time.Since(mark)
 	stats := IterStats{
 		Iter:        p.iter,
 		HPWL:        nl.HPWL(),
@@ -366,8 +457,30 @@ func (p *Placer) Step() (IterStats, error) {
 		MaxForce:    targetMax,
 		CGIterX:     res.X.Iterations,
 		CGIterY:     res.Y.Iterations,
+		CGResidX:    res.X.Residual,
+		CGResidY:    res.Y.Residual,
+		TWeight:     tWeight,
+		TGather:     tGather,
+		TField:      tField,
+		TBuild:      tBuild,
+		TSolveX:     res.X.Elapsed,
+		TSolveY:     res.Y.Elapsed,
 	}
+	stats.TStep = time.Since(stepStart)
 	p.iter++
+	if sp := cfg.Spans; sp != nil {
+		sp.Record("place/weight", stats.TWeight)
+		sp.Record("place/gather", stats.TGather)
+		sp.Record("place/field", stats.TField)
+		sp.Record("place/build", stats.TBuild)
+		sp.Record("place/solve-x", stats.TSolveX)
+		sp.Record("place/solve-y", stats.TSolveY)
+		sp.Record("place/step", stats.TStep)
+	}
+	p.met.steps.Inc()
+	p.met.hpwl.Set(stats.HPWL)
+	p.met.overflow.Set(stats.Overflow)
+	p.met.stepSeconds.Observe(stats.TStep.Seconds())
 	if cfg.OnIteration != nil {
 		cfg.OnIteration(stats)
 	}
@@ -473,7 +586,10 @@ func (p *Placer) Run() (Result, error) {
 			// A solve that made no progress at all is fatal.
 			return res, err
 		}
-		res.Trace = append(res.Trace, stats)
+		if !p.cfg.NoTrace {
+			res.Trace = append(res.Trace, stats)
+		}
+		res.Phases.add(stats)
 		res.Iterations = it + 1
 		res.HPWL = stats.HPWL
 		res.Overflow = stats.Overflow

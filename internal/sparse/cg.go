@@ -3,6 +3,9 @@ package sparse
 import (
 	"errors"
 	"math"
+	"time"
+
+	"repro/internal/obsv"
 )
 
 // Preconditioner selects how CG preconditions the system.
@@ -17,6 +20,58 @@ const (
 	// Falls back to Jacobi when the factorization breaks down.
 	IC0
 )
+
+// String returns the preconditioner's metrics tag.
+func (p Preconditioner) String() string {
+	switch p {
+	case IC0:
+		return "ic0"
+	default:
+		return "jacobi"
+	}
+}
+
+// cgMetrics holds the package's metric handles, one set per effective
+// preconditioner tag. All handles are nil until EnableMetrics, and every
+// obsv operation on a nil handle is a no-op, so the disabled path costs
+// nothing.
+type cgMetrics struct {
+	solves       *obsv.Counter
+	iterations   *obsv.Counter
+	notConverged *obsv.Counter
+	residual     *obsv.Histogram
+	seconds      *obsv.Histogram
+}
+
+var metrics [2]cgMetrics // indexed by effective Preconditioner
+
+// EnableMetrics registers the solver's counters and histograms in r and
+// routes all subsequent solves to them:
+//
+//	sparse_cg_solves_total{precond=...}        solves started
+//	sparse_cg_iterations_total{precond=...}    CG iterations executed
+//	sparse_cg_nonconverged_total{precond=...}  solves that hit ErrNotConverged
+//	sparse_cg_residual{precond=...}            final relative residual
+//	sparse_cg_seconds{precond=...}             solve wall time
+//
+// The precond label is the *effective* preconditioner (an IC0 request
+// that falls back to Jacobi counts as jacobi). Passing nil detaches the
+// solver from any registry.
+func EnableMetrics(r *obsv.Registry) {
+	for _, p := range []Preconditioner{Jacobi, IC0} {
+		tag := `{precond="` + p.String() + `"}`
+		m := &metrics[p]
+		if r == nil {
+			*m = cgMetrics{}
+			continue
+		}
+		m.solves = r.Counter("sparse_cg_solves_total"+tag, "conjugate-gradient solves started")
+		m.iterations = r.Counter("sparse_cg_iterations_total"+tag, "conjugate-gradient iterations executed")
+		m.notConverged = r.Counter("sparse_cg_nonconverged_total"+tag, "CG solves that hit MaxIter above tolerance")
+		m.residual = r.Histogram("sparse_cg_residual"+tag, "final relative residual per solve", obsv.ResidualBuckets)
+		m.seconds = r.Histogram("sparse_cg_seconds"+tag, "CG solve wall time in seconds", obsv.SecondsBuckets)
+	}
+}
 
 // CGOptions controls the conjugate gradient solver.
 type CGOptions struct {
@@ -33,6 +88,7 @@ type CGResult struct {
 	Iterations int
 	Residual   float64 // final relative residual
 	Converged  bool
+	Elapsed    time.Duration // solve wall time
 }
 
 // ErrNotConverged is returned when CG hits MaxIter above tolerance. The
@@ -43,7 +99,7 @@ var ErrNotConverged = errors.New("sparse: conjugate gradient did not converge")
 // SolveCG solves M·x = b for symmetric positive-definite M using conjugate
 // gradients with Jacobi (diagonal) preconditioning. x carries the initial
 // guess on entry (warm start) and the solution on return.
-func SolveCG(m *CSR, x, b []float64, opt CGOptions) (CGResult, error) {
+func SolveCG(m *CSR, x, b []float64, opt CGOptions) (res CGResult, err error) {
 	n := m.N()
 	if len(x) != n || len(b) != n {
 		panic("sparse: SolveCG dimension mismatch")
@@ -62,6 +118,22 @@ func SolveCG(m *CSR, x, b []float64, opt CGOptions) (CGResult, error) {
 	if opt.Precond == IC0 {
 		chol = newIC0(m) // nil on breakdown → Jacobi fallback
 	}
+	eff := Jacobi // effective preconditioner, the metrics tag
+	if chol != nil {
+		eff = IC0
+	}
+	start := time.Now()
+	defer func() {
+		res.Elapsed = time.Since(start)
+		mt := &metrics[eff]
+		mt.solves.Inc()
+		mt.iterations.Add(int64(res.Iterations))
+		mt.residual.Observe(res.Residual)
+		mt.seconds.Observe(res.Elapsed.Seconds())
+		if err != nil {
+			mt.notConverged.Inc()
+		}
+	}()
 	invDiag := make([]float64, n)
 	for i, d := range m.Diag() {
 		if d > 0 {
@@ -93,9 +165,9 @@ func SolveCG(m *CSR, x, b []float64, opt CGOptions) (CGResult, error) {
 	if bnorm == 0 {
 		bnorm = 1
 	}
-	res := Norm2(r) / bnorm
-	if res <= opt.Tol {
-		return CGResult{0, res, true}, nil
+	rel := Norm2(r) / bnorm
+	if rel <= opt.Tol {
+		return CGResult{Iterations: 0, Residual: rel, Converged: true}, nil
 	}
 
 	precond(z, r)
@@ -108,14 +180,14 @@ func SolveCG(m *CSR, x, b []float64, opt CGOptions) (CGResult, error) {
 		if pap <= 0 || math.IsNaN(pap) {
 			// Matrix is not positive definite along p (or numerics broke
 			// down); return the best iterate.
-			return CGResult{iter, res, false}, ErrNotConverged
+			return CGResult{Iterations: iter, Residual: rel}, ErrNotConverged
 		}
 		alpha := rz / pap
 		Axpy(x, alpha, p)
 		Axpy(r, -alpha, ap)
-		res = Norm2(r) / bnorm
-		if res <= opt.Tol {
-			return CGResult{iter, res, true}, nil
+		rel = Norm2(r) / bnorm
+		if rel <= opt.Tol {
+			return CGResult{Iterations: iter, Residual: rel, Converged: true}, nil
 		}
 		precond(z, r)
 		rzNew := Dot(r, z)
@@ -125,5 +197,5 @@ func SolveCG(m *CSR, x, b []float64, opt CGOptions) (CGResult, error) {
 			p[i] = z[i] + beta*p[i]
 		}
 	}
-	return CGResult{opt.MaxIter, res, false}, ErrNotConverged
+	return CGResult{Iterations: opt.MaxIter, Residual: rel}, ErrNotConverged
 }

@@ -46,16 +46,23 @@ func PlaceDriven(nl *netlist.Netlist, cfg place.Config, params Params, before fl
 	weighter := NewWeighter(nl)
 	analyses := 0
 	userHook := cfg.BeforeTransform
+	spans := cfg.Spans // nil-safe: a nil *Spans records nothing
 	cfg.BeforeTransform = func(iter int, p *place.Placer) {
 		if userHook != nil {
 			userHook(iter, p)
 		}
+		sp := spans.Start("timing/analyze")
 		rep := analyzer.Analyze()
+		sp.End()
 		analyses++
+		sp = spans.Start("timing/weight")
 		weighter.Update(nl, rep)
 		p.Pull(weighter.PullForces(nl))
+		sp.End()
 	}
+	sp := spans.Start("timing/global")
 	res, err := place.Global(nl, cfg)
+	sp.End()
 	if err != nil {
 		return DrivenResult{}, err
 	}
@@ -69,6 +76,7 @@ func PlaceDriven(nl *netlist.Netlist, cfg place.Config, params Params, before fl
 	if err := placer.Initialize(); err != nil {
 		return DrivenResult{}, err
 	}
+	polishSpan := spans.Start("timing/polish")
 	best := nl.Snapshot()
 	bestDelay := analyzer.Analyze().MaxDelay
 	sinceBest := 0
@@ -89,6 +97,7 @@ func PlaceDriven(nl *netlist.Netlist, cfg place.Config, params Params, before fl
 		}
 	}
 	nl.Restore(best)
+	polishSpan.End()
 
 	after := analyzer.Analyze().MaxDelay
 	return DrivenResult{

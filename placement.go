@@ -34,14 +34,18 @@ import (
 	"io"
 
 	"repro/internal/anneal"
+	"repro/internal/density"
 	"repro/internal/eco"
+	"repro/internal/fft"
 	"repro/internal/floorplan"
 	"repro/internal/geom"
 	"repro/internal/gordian"
 	"repro/internal/legalize"
 	"repro/internal/netgen"
 	"repro/internal/netlist"
+	"repro/internal/obsv"
 	"repro/internal/place"
+	"repro/internal/sparse"
 	"repro/internal/timing"
 )
 
@@ -128,6 +132,8 @@ type (
 	Placer = place.Placer
 	// IterStats describes one placement transformation.
 	IterStats = place.IterStats
+	// PhaseTotals accumulates per-phase time over a run.
+	PhaseTotals = place.PhaseTotals
 )
 
 // Global runs force-directed global placement on nl (§4.2), mutating cell
@@ -136,6 +142,43 @@ func Global(nl *Netlist, cfg Config) (Result, error) { return place.Global(nl, c
 
 // NewPlacer prepares a stepwise placer (call Initialize, then Step).
 func NewPlacer(nl *Netlist, cfg Config) *Placer { return place.New(nl, cfg) }
+
+// Observability (spans, metrics, run traces). Set Config.Spans /
+// Config.Metrics / Config.OnIteration to observe a run; all sinks are
+// nil-safe and cost nothing when absent.
+type (
+	// Spans aggregates named phase timings (count, total, min, max).
+	Spans = obsv.Spans
+	// PhaseStat is one phase's aggregate in a Spans snapshot.
+	PhaseStat = obsv.PhaseStat
+	// MetricsRegistry holds counters, gauges, and histograms and encodes
+	// them as Prometheus text or JSON; it is an http.Handler.
+	MetricsRegistry = obsv.Registry
+	// TraceWriter streams JSONL run-trace records.
+	TraceWriter = obsv.TraceWriter
+)
+
+// NewSpans returns an empty phase-span aggregator.
+func NewSpans() *Spans { return obsv.NewSpans() }
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obsv.NewRegistry() }
+
+// NewTraceWriter wraps w as a JSONL run-trace sink.
+func NewTraceWriter(w io.Writer) *TraceWriter { return obsv.NewTraceWriter(w) }
+
+// OpenTrace creates (or truncates) a JSONL run-trace file.
+func OpenTrace(path string) (*TraceWriter, error) { return obsv.OpenTrace(path) }
+
+// EnableSolverMetrics registers the solver-level instruments (CG solves,
+// iterations, residuals; density-field and FFT timings) on reg. Call once
+// before placing; pass the same registry as Config.Metrics for the
+// placement-level instruments.
+func EnableSolverMetrics(reg *MetricsRegistry) {
+	sparse.EnableMetrics(reg)
+	density.EnableMetrics(reg)
+	fft.EnableMetrics(reg)
+}
 
 // Legalization / final placement (the Domino role, §6.1).
 type (
