@@ -6,6 +6,7 @@
 //	kbench -table 4            # Table 4 (exploitation; runs Table 3)
 //	kbench -exp fast           # §6.1 fast-vs-standard mode experiment
 //	kbench -exp tradeoff       # §5 timing/area tradeoff curve
+//	kbench -exp step           # hot-vs-cold engine phase breakdown (E10)
 //	kbench -all                # everything
 //
 // The suite is scaled by -scale (default 0.12) so a full run finishes in
@@ -44,7 +45,10 @@ func main() {
 
 	var (
 		table    = flag.Int("table", 0, "paper table to regenerate (1-4)")
-		exp      = flag.String("exp", "", "experiment: fast, tradeoff, ablation, scaling")
+		exp      = flag.String("exp", "", "experiment: fast, tradeoff, ablation, scaling, step")
+		stepOut  = flag.String("step-out", "", "write the step experiment's JSON document to this file (e.g. BENCH_step.json)")
+		stepIter = flag.Int("step-iter", 60, "max placement transformations per step-experiment run")
+		sizes    = flag.String("sizes", "", "comma-separated cell counts for the step experiment (default 2000,10000)")
 		all      = flag.Bool("all", false, "run every table and experiment")
 		scale    = flag.Float64("scale", 0.12, "suite scale factor (1.0 = published sizes)")
 		seed     = flag.Int64("seed", 1998, "generation seed")
@@ -146,6 +150,33 @@ func main() {
 	if *all || *exp == "scaling" {
 		bench.PrintScaling(os.Stdout, bench.RunScaling(opts, nil))
 		fmt.Println()
+		ran = true
+	}
+	if *all || *exp == "step" {
+		var ns []int
+		for _, s := range splitComma(*sizes) {
+			var n int
+			if _, err := fmt.Sscanf(s, "%d", &n); err != nil || n <= 0 {
+				log.Fatalf("bad -sizes entry %q", s)
+			}
+			ns = append(ns, n)
+		}
+		b := bench.RunStepBench(opts, ns, *stepIter)
+		bench.PrintStepBench(os.Stdout, b)
+		fmt.Println()
+		if *stepOut != "" {
+			f, err := os.Create(*stepOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := bench.WriteStepBench(f, b); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *stepOut)
+		}
 		ran = true
 	}
 	if *all || *exp == "tradeoff" {

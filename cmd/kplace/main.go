@@ -58,6 +58,7 @@ func main() {
 		legal   = flag.Bool("legalize", true, "run legalization/detailed placement afterwards")
 		plot    = flag.Bool("plot", false, "print an ASCII plot of the result")
 		maxIter = flag.Int("maxiter", 0, "iteration cap (0 = default)")
+		cold    = flag.Bool("cold", false, "disable the hot-path engine (iteration-reuse caches and CG warm start); the A/B baseline for -metrics comparisons")
 
 		tracePath = flag.String("trace", "", "write a JSONL run trace (one record per transformation)")
 		metrics   = flag.Bool("metrics", false, "dump the metrics registry as Prometheus text on exit")
@@ -117,6 +118,7 @@ func main() {
 	case "kraftwerk":
 		cfg := place.Config{
 			K: *k, MaxIter: *maxIter,
+			NoReuse: *cold, NoWarmStart: *cold,
 			Spans: spans, Metrics: reg,
 		}
 		if trace != nil {

@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/netgen"
+	"repro/internal/netlist"
+	"repro/internal/place"
+)
+
+// StepPhases is one run's per-phase wall time in integer nanoseconds,
+// mirroring place.PhaseTotals for the BENCH_step.json schema.
+type StepPhases struct {
+	Weight int64 `json:"weight_ns"`
+	Gather int64 `json:"gather_ns"`
+	Field  int64 `json:"field_ns"`
+	Build  int64 `json:"build_ns"`
+	SolveX int64 `json:"solve_x_ns"`
+	SolveY int64 `json:"solve_y_ns"`
+	Step   int64 `json:"step_ns"`
+}
+
+func stepPhases(p place.PhaseTotals) StepPhases {
+	return StepPhases{
+		Weight: p.Weight.Nanoseconds(),
+		Gather: p.Gather.Nanoseconds(),
+		Field:  p.Field.Nanoseconds(),
+		Build:  p.Build.Nanoseconds(),
+		SolveX: p.SolveX.Nanoseconds(),
+		SolveY: p.SolveY.Nanoseconds(),
+		Step:   p.Step.Nanoseconds(),
+	}
+}
+
+// StepRun is one full placement run of the hot/cold comparison.
+type StepRun struct {
+	Iterations int        `json:"iterations"`
+	CGIters    int        `json:"cg_iters"` // Σ(cg_iter_x + cg_iter_y) over the run
+	StopReason string     `json:"stop_reason"`
+	HPWL       float64    `json:"hpwl"`
+	Overflow   float64    `json:"overflow"`
+	WallSec    float64    `json:"wall_seconds"`
+	Phases     StepPhases `json:"phases"`
+}
+
+// StepRow compares the cold (NoReuse + NoWarmStart) and hot (default)
+// engines on one circuit size.
+type StepRow struct {
+	Cells int     `json:"cells"`
+	Nets  int     `json:"nets"`
+	Cold  StepRun `json:"cold"`
+	Hot   StepRun `json:"hot"`
+}
+
+// StepBench is the BENCH_step.json document: the hot-path engine's effect on
+// the per-phase cost of place.Step across design sizes.
+type StepBench struct {
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	Seed       int64     `json:"seed"`
+	MaxIter    int       `json:"max_iter"`
+	Rows       []StepRow `json:"rows"`
+}
+
+// RunStepBench places a synthetic circuit per size twice — cold with every
+// iteration-reuse cache disabled, hot with the default engine — and records
+// the per-phase time breakdown of each run. Both runs start from identical
+// clones with the same seed, so quality deltas isolate the reuse machinery.
+func RunStepBench(opts Options, sizes []int, maxIter int) StepBench {
+	opts.setDefaults()
+	if len(sizes) == 0 {
+		sizes = []int{2000, 10000}
+	}
+	if maxIter <= 0 {
+		maxIter = 60
+	}
+	b := StepBench{GOMAXPROCS: runtime.GOMAXPROCS(0), Seed: opts.Seed, MaxIter: maxIter}
+	for _, n := range sizes {
+		nets := n + n/3
+		base := netgen.Generate(netgen.Config{
+			Name:  fmt.Sprintf("step-%d", n),
+			Cells: n,
+			Nets:  nets,
+			Rows:  rowsFor(n),
+			Seed:  opts.Seed,
+		})
+		row := StepRow{Cells: n, Nets: nets}
+		row.Cold = runStep(&opts, base, maxIter, true)
+		opts.logf("step %6d cells cold: %6.2fs  %3d iters (%s)\n",
+			n, row.Cold.WallSec, row.Cold.Iterations, row.Cold.StopReason)
+		row.Hot = runStep(&opts, base, maxIter, false)
+		opts.logf("step %6d cells hot:  %6.2fs  %3d iters (%s)\n",
+			n, row.Hot.WallSec, row.Hot.Iterations, row.Hot.StopReason)
+		b.Rows = append(b.Rows, row)
+	}
+	return b
+}
+
+func runStep(o *Options, base *netlist.Netlist, maxIter int, cold bool) StepRun {
+	nl := base.Clone()
+	cgIters := 0
+	cfg := o.placeCfg(place.Config{
+		MaxIter:     maxIter,
+		NoReuse:     cold,
+		NoWarmStart: cold,
+	}, nl.Name)
+	prev := cfg.OnIteration
+	cfg.OnIteration = func(s place.IterStats) {
+		cgIters += s.CGIterX + s.CGIterY
+		if prev != nil {
+			prev(s)
+		}
+	}
+	start := time.Now()
+	res, err := place.Global(nl, cfg)
+	if err != nil {
+		return StepRun{StopReason: "error: " + err.Error()}
+	}
+	return StepRun{
+		Iterations: res.Iterations,
+		CGIters:    cgIters,
+		StopReason: res.StopReason,
+		HPWL:       res.HPWL,
+		Overflow:   res.Overflow,
+		WallSec:    time.Since(start).Seconds(),
+		Phases:     stepPhases(res.Phases),
+	}
+}
+
+// WriteStepBench writes the BENCH_step.json document.
+func WriteStepBench(w io.Writer, b StepBench) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// PrintStepBench renders the comparison with per-phase hot-vs-cold speedups.
+func PrintStepBench(w io.Writer, b StepBench) {
+	fmt.Fprintf(w, "E10: hot-path engine, cold vs hot (gomaxprocs %d, max %d iters, seed %d)\n",
+		b.GOMAXPROCS, b.MaxIter, b.Seed)
+	fmt.Fprintf(w, "%8s %-5s | %8s %6s %7s | %9s %9s %9s %9s | %9s\n",
+		"#cells", "mode", "wall[s]", "iters", "cg-it", "gather", "field", "build", "solve", "step")
+	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
+	for _, r := range b.Rows {
+		for _, m := range []struct {
+			name string
+			run  StepRun
+		}{{"cold", r.Cold}, {"hot", r.Hot}} {
+			p := m.run.Phases
+			fmt.Fprintf(w, "%8d %-5s | %8.2f %6d %7d | %8.1fm %8.1fm %8.1fm %8.1fm | %8.1fm\n",
+				r.Cells, m.name, m.run.WallSec, m.run.Iterations, m.run.CGIters,
+				ms(p.Gather), ms(p.Field), ms(p.Build), ms(p.SolveX+p.SolveY), ms(p.Step))
+		}
+		// Per-iteration speedups, so differing stop iterations don't skew the
+		// phase comparison; wall speedup is the end-to-end ratio.
+		speed := func(cold, hot int64, ci, hi int) float64 {
+			if hot <= 0 || ci <= 0 || hi <= 0 {
+				return 0
+			}
+			return (float64(cold) / float64(ci)) / (float64(hot) / float64(hi))
+		}
+		fmt.Fprintf(w, "%8s %-5s | %8.2fx %6s %7s | %8.2fx %8.2fx %8.2fx %8.2fx | %8.2fx\n",
+			"", "speed", r.Cold.WallSec/r.Hot.WallSec, "", "",
+			speed(r.Cold.Phases.Gather, r.Hot.Phases.Gather, r.Cold.Iterations, r.Hot.Iterations),
+			speed(r.Cold.Phases.Field, r.Hot.Phases.Field, r.Cold.Iterations, r.Hot.Iterations),
+			speed(r.Cold.Phases.Build, r.Hot.Phases.Build, r.Cold.Iterations, r.Hot.Iterations),
+			speed(r.Cold.Phases.SolveX+r.Cold.Phases.SolveY, r.Hot.Phases.SolveX+r.Hot.Phases.SolveY,
+				r.Cold.Iterations, r.Hot.Iterations),
+			speed(r.Cold.Phases.Step, r.Hot.Phases.Step, r.Cold.Iterations, r.Hot.Iterations))
+	}
+}

@@ -112,24 +112,15 @@ func computeDirect(g *Grid) *Field {
 	return f
 }
 
-// computeFFT evaluates the same superposition as a linear convolution with
-// the kernels Kx(d) = dx/(2π|d|²), Ky(d) = dy/(2π|d|²) on a grid zero-padded
-// to 2NX×2NY (so the cyclic convolution equals the linear one on the region).
-func computeFFT(g *Grid) *Field {
-	pw, ph := fft.NextPow2(2*g.NX), fft.NextPow2(2*g.NY)
+// fieldKernels evaluates the Green's-function kernels Kx(d) = dx/(2π|d|²),
+// Ky(d) = dy/(2π|d|²) over the pw×ph padded grid, with signed offsets
+// wrapping so negative displacements live in the upper half.
+func fieldKernels(g *Grid, pw, ph int) (kx, ky []float64) {
 	n := pw * ph
-	src := make([]float64, n)
-	for iy := 0; iy < g.NY; iy++ {
-		for ix := 0; ix < g.NX; ix++ {
-			src[iy*pw+ix] = g.D[g.Idx(ix, iy)]
-		}
-	}
-	kx := make([]float64, n)
-	ky := make([]float64, n)
+	kx = make([]float64, n)
+	ky = make([]float64, n)
 	for oy := 0; oy < ph; oy++ {
 		for ox := 0; ox < pw; ox++ {
-			// Signed offsets with wrap-around so negative displacements
-			// live in the upper half of the padded grid.
 			dxb := ox
 			if dxb > pw/2 {
 				dxb -= pw
@@ -148,6 +139,81 @@ func computeFFT(g *Grid) *Field {
 			ky[oy*pw+ox] = dy / (2 * math.Pi * r2)
 		}
 	}
+	return kx, ky
+}
+
+// fieldCache is the reusable FFT field solver of one grid: the transform
+// plan, the forward spectra of the two kernels (they depend only on the
+// grid geometry, fixed at construction), and the padded scratch fields.
+// With it, each field solve costs one forward and two inverse transforms
+// instead of four forwards and two inverses, and allocates nothing.
+type fieldCache struct {
+	pw, ph int
+	plan   *fft.Plan
+	specs  [2][]complex128 // forward transforms of Kx, Ky
+	src    []float64
+	out    [2][]float64
+}
+
+func (g *Grid) fieldSolver() *fieldCache {
+	pw, ph := fft.NextPow2(2*g.NX), fft.NextPow2(2*g.NY)
+	if fc := g.fcache; fc != nil && fc.pw == pw && fc.ph == ph {
+		return fc
+	}
+	n := pw * ph
+	fc := &fieldCache{pw: pw, ph: ph, plan: fft.NewPlan(pw, ph), src: make([]float64, n)}
+	kx, ky := fieldKernels(g, pw, ph)
+	for i, k := range [2][]float64{kx, ky} {
+		fc.specs[i] = make([]complex128, n)
+		fc.plan.Spectrum(fc.specs[i], k)
+		fc.out[i] = make([]float64, n)
+	}
+	g.fcache = fc
+	return fc
+}
+
+// computeFFT evaluates the same superposition as computeDirect, as a linear
+// convolution with the kernels on a grid zero-padded to 2NX×2NY (so the
+// cyclic convolution equals the linear one on the region). The kernel
+// spectra and all working storage are cached on the grid; NoCache keeps the
+// original allocate-and-retransform path for baseline comparisons.
+func computeFFT(g *Grid) *Field {
+	if g.NoCache {
+		return computeFFTCold(g)
+	}
+	fc := g.fieldSolver()
+	pw := fc.pw
+	for i := range fc.src {
+		fc.src[i] = 0
+	}
+	for iy := 0; iy < g.NY; iy++ {
+		for ix := 0; ix < g.NX; ix++ {
+			fc.src[iy*pw+ix] = g.D[g.Idx(ix, iy)]
+		}
+	}
+	fc.plan.ConvolveSpectra(fc.out[:], fc.src, fc.specs[:])
+	f := &Field{grid: g, FX: make([]float64, len(g.D)), FY: make([]float64, len(g.D))}
+	for iy := 0; iy < g.NY; iy++ {
+		for ix := 0; ix < g.NX; ix++ {
+			f.FX[g.Idx(ix, iy)] = fc.out[0][iy*pw+ix]
+			f.FY[g.Idx(ix, iy)] = fc.out[1][iy*pw+ix]
+		}
+	}
+	return f
+}
+
+// computeFFTCold is the uncached path: fresh scratch and a full kernel
+// transform per call.
+func computeFFTCold(g *Grid) *Field {
+	pw, ph := fft.NextPow2(2*g.NX), fft.NextPow2(2*g.NY)
+	n := pw * ph
+	src := make([]float64, n)
+	for iy := 0; iy < g.NY; iy++ {
+		for ix := 0; ix < g.NX; ix++ {
+			src[iy*pw+ix] = g.D[g.Idx(ix, iy)]
+		}
+	}
+	kx, ky := fieldKernels(g, pw, ph)
 	outX := make([]float64, n)
 	outY := make([]float64, n)
 	fft.Convolve2D(outX, src, kx, pw, ph)

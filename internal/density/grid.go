@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/netlist"
+	"repro/internal/par"
 )
 
 // Grid bins the placement area and accumulates demand/supply/density per
@@ -31,6 +32,28 @@ type Grid struct {
 	// Extra holds additional demand injected by congestion- or heat-driven
 	// placement; it participates in D but is rescaled so ∫D stays 0.
 	Extra []float64
+
+	// NoCache disables the cached FFT field solver (kernel spectra + plan),
+	// forcing every ComputeField call back onto the allocate-and-retransform
+	// path. Benchmark baselines and A/B comparisons set it; normal runs
+	// leave it false.
+	NoCache bool
+
+	// scratch backs AddArea's deposit staging; shards are the per-worker
+	// deposit buffers of the parallel Accumulate, reused across iterations.
+	scratch []deposit
+	shards  [][]deposit
+	// fcache is the lazily built FFT field solver (see field.go).
+	fcache *fieldCache
+}
+
+// deposit is one bin contribution of one cell: the demand gather computes
+// deposits (the expensive geometry work) possibly in parallel, then applies
+// them to the demand map strictly in cell order, so the accumulated sums
+// are bit-identical to the serial path for any worker count.
+type deposit struct {
+	idx int
+	val float64
 }
 
 // NewGrid creates an nx×ny grid over the region outline.
@@ -88,17 +111,47 @@ func binRange(lo, hi, origin, step float64, n int) (int, int) {
 // Accumulate recomputes Demand, Supply and D from the current cell
 // positions. Movable cell area is sprayed into bins by exact rectangle
 // overlap; area hanging outside the region is clamped into the boundary
-// bins so demand is conserved.
+// bins so demand is conserved. Designs with at least par.Threshold cells
+// compute their deposits on all CPUs; the demand map is bit-identical to
+// the serial result because deposits are applied in cell order either way.
 func (g *Grid) Accumulate(nl *netlist.Netlist) {
 	for i := range g.Demand {
 		g.Demand[i] = 0
 	}
-	for ci := range nl.Cells {
-		c := &nl.Cells[ci]
-		if c.Fixed {
-			continue
+	n := len(nl.Cells)
+	workers := par.Workers(n)
+	if workers <= 1 {
+		for ci := 0; ci < n; ci++ {
+			c := &nl.Cells[ci]
+			if c.Fixed {
+				continue
+			}
+			g.AddArea(c.Rect(), 1)
 		}
-		g.AddArea(c.Rect(), 1)
+		g.finish()
+		return
+	}
+	if len(g.shards) < workers {
+		g.shards = make([][]deposit, workers)
+	}
+	shards := g.shards[:workers]
+	par.Run(workers, n, func(w, lo, hi int) {
+		buf := shards[w][:0]
+		for ci := lo; ci < hi; ci++ {
+			c := &nl.Cells[ci]
+			if c.Fixed {
+				continue
+			}
+			buf = g.appendDeposits(buf, c.Rect(), 1)
+		}
+		shards[w] = buf
+	})
+	// Worker w handled the w-th contiguous cell range, so applying shards
+	// in worker order replays the exact serial addition order.
+	for _, sh := range shards {
+		for _, d := range sh {
+			g.Demand[d.idx] += d.val
+		}
 	}
 	g.finish()
 }
@@ -107,9 +160,20 @@ func (g *Grid) Accumulate(nl *netlist.Netlist) {
 // Portions of r outside the region are attributed to the nearest boundary
 // bins, conserving total demand.
 func (g *Grid) AddArea(r geom.Rect, scale float64) {
+	g.scratch = g.appendDeposits(g.scratch[:0], r, scale)
+	for _, d := range g.scratch {
+		g.Demand[d.idx] += d.val
+	}
+}
+
+// appendDeposits computes the bin deposits of spraying scale·area(r) into
+// the demand map and appends them to buf. It only reads the grid geometry,
+// so distinct buffers may be filled concurrently; applying the returned
+// deposits in append order reproduces AddArea exactly.
+func (g *Grid) appendDeposits(buf []deposit, r geom.Rect, scale float64) []deposit {
 	if r.Empty() {
 		// Zero-area cells (points) still deposit nothing; ignore.
-		return
+		return buf
 	}
 	// Clamp the rect into the region, preserving its area, so off-region
 	// demand pushes back from the boundary.
@@ -125,7 +189,7 @@ func (g *Grid) AddArea(r geom.Rect, scale float64) {
 		for ix := ix0; ix <= ix1; ix++ {
 			ov := g.BinRect(ix, iy).Overlap(r)
 			if ov > 0 {
-				g.Demand[g.Idx(ix, iy)] += scale * ov
+				buf = append(buf, deposit{g.Idx(ix, iy), scale * ov})
 				deposited += ov
 			}
 		}
@@ -135,8 +199,9 @@ func (g *Grid) AddArea(r geom.Rect, scale float64) {
 	if res := total - deposited; res > 1e-12*total {
 		cx := clampInt(int((r.Center().X-g.Region.Lo.X)/g.BinW), 0, g.NX-1)
 		cy := clampInt(int((r.Center().Y-g.Region.Lo.Y)/g.BinH), 0, g.NY-1)
-		g.Demand[g.Idx(cx, cy)] += scale * res
+		buf = append(buf, deposit{g.Idx(cx, cy), scale * res})
 	}
+	return buf
 }
 
 // finish computes Supply and D from the accumulated demand.

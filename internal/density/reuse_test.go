@@ -1,0 +1,97 @@
+package density
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/netgen"
+	"repro/internal/par"
+)
+
+func TestAccumulateParallelIsBitIdentical(t *testing.T) {
+	nl := netgen.Generate(netgen.Config{Name: "p", Cells: 500, Nets: 600, Rows: 8, Seed: 41})
+	netgen.ScatterRandom(nl, 41)
+
+	serial := NewGrid(nl.Region.Outline, 32, 16)
+	serial.Accumulate(nl)
+
+	parallel := NewGrid(nl.Region.Outline, 32, 16)
+	old := par.Threshold
+	par.Threshold = 1
+	defer func() { par.Threshold = old }()
+	parallel.Accumulate(nl)
+
+	for i := range serial.Demand {
+		if serial.Demand[i] != parallel.Demand[i] {
+			t.Fatalf("parallel demand differs at bin %d: %g vs %g",
+				i, parallel.Demand[i], serial.Demand[i])
+		}
+		if serial.D[i] != parallel.D[i] {
+			t.Fatalf("parallel D differs at bin %d: %g vs %g",
+				i, parallel.D[i], serial.D[i])
+		}
+	}
+
+	// Repeated accumulation reuses the shard buffers; results must not drift.
+	parallel.Accumulate(nl)
+	for i := range serial.Demand {
+		if serial.Demand[i] != parallel.Demand[i] {
+			t.Fatalf("re-accumulated demand differs at bin %d", i)
+		}
+	}
+}
+
+func TestCachedFieldMatchesCold(t *testing.T) {
+	nl := netgen.Generate(netgen.Config{Name: "c", Cells: 400, Nets: 500, Rows: 8, Seed: 42})
+	netgen.ScatterRandom(nl, 42)
+
+	hot := NewGrid(nl.Region.Outline, 64, 64)
+	hot.Accumulate(nl)
+	cold := NewGrid(nl.Region.Outline, 64, 64)
+	cold.NoCache = true
+	cold.Accumulate(nl)
+
+	// Two solves through the cache (the second reuses plan, spectra and
+	// scratch) against the allocate-and-retransform baseline.
+	for round := 0; round < 2; round++ {
+		fh := ComputeField(hot, FFT)
+		fc := ComputeField(cold, FFT)
+		for i := range fh.FX {
+			if d := math.Abs(fh.FX[i] - fc.FX[i]); d > 1e-9 {
+				t.Fatalf("round %d: FX differs at %d: %g vs %g", round, i, fh.FX[i], fc.FX[i])
+			}
+			if d := math.Abs(fh.FY[i] - fc.FY[i]); d > 1e-9 {
+				t.Fatalf("round %d: FY differs at %d: %g vs %g", round, i, fh.FY[i], fc.FY[i])
+			}
+		}
+	}
+}
+
+func TestFieldCacheInvalidatedByNothing(t *testing.T) {
+	// The cache keys on the padded dimensions only; a second grid of the
+	// same geometry must not share state with the first (each grid owns its
+	// fcache), and re-solving after a density change must track the change.
+	nl := netgen.Generate(netgen.Config{Name: "i", Cells: 200, Nets: 260, Rows: 8, Seed: 43})
+	netgen.ScatterRandom(nl, 43)
+	g := NewGrid(nl.Region.Outline, 64, 64)
+	g.Accumulate(nl)
+	f1 := ComputeField(g, FFT)
+
+	// Move everything and re-accumulate: the cached solver must see the new
+	// density, not replay the old solve.
+	for ci := range nl.Cells {
+		if !nl.Cells[ci].Fixed {
+			nl.Cells[ci].Pos.X = nl.Region.Outline.Lo.X + 1
+		}
+	}
+	g.Accumulate(nl)
+	f2 := ComputeField(g, FFT)
+
+	var diff float64
+	for i := range f1.FX {
+		diff += math.Abs(f1.FX[i] - f2.FX[i])
+	}
+	if diff == 0 {
+		t.Fatal("cached field solver returned a stale field after the density changed")
+	}
+}

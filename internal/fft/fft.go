@@ -5,10 +5,7 @@ package fft
 
 import (
 	"fmt"
-	"math"
 	"math/bits"
-	"math/cmplx"
-	"time"
 
 	"repro/internal/obsv"
 )
@@ -43,49 +40,15 @@ func NextPow2(n int) int {
 
 // Forward performs an in-place forward FFT of a. len(a) must be a power of
 // two.
-func Forward(a []complex128) { transform(a, false) }
+func Forward(a []complex128) { tableFor(len(a)).transform(a, false) }
 
 // Inverse performs an in-place inverse FFT of a, including the 1/n scaling.
 // len(a) must be a power of two.
 func Inverse(a []complex128) {
-	transform(a, true)
+	tableFor(len(a)).transform(a, true)
 	scale := complex(1/float64(len(a)), 0)
 	for i := range a {
 		a[i] *= scale
-	}
-}
-
-func transform(a []complex128, inverse bool) {
-	n := len(a)
-	if !IsPow2(n) {
-		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
-	}
-	// Bit-reversal permutation.
-	shift := 64 - uint(bits.Len(uint(n-1)))
-	for i := 1; i < n; i++ {
-		j := int(bits.Reverse64(uint64(i)) >> shift)
-		if i < j {
-			a[i], a[j] = a[j], a[i]
-		}
-	}
-	// Cooley-Tukey butterflies.
-	for size := 2; size <= n; size <<= 1 {
-		ang := 2 * math.Pi / float64(size)
-		if !inverse {
-			ang = -ang
-		}
-		wStep := cmplx.Exp(complex(0, ang))
-		for start := 0; start < n; start += size {
-			w := complex(1, 0)
-			half := size / 2
-			for k := 0; k < half; k++ {
-				u := a[start+k]
-				v := a[start+k+half] * w
-				a[start+k] = u + v
-				a[start+k+half] = u - v
-				w *= wStep
-			}
-		}
 	}
 }
 
@@ -111,65 +74,21 @@ func (g *Grid) At(x, y int) complex128 { return g.Data[y*g.W+x] }
 func (g *Grid) Set(x, y int, v complex128) { g.Data[y*g.W+x] = v }
 
 // Forward2D performs an in-place forward 2-D FFT (rows then columns).
-func (g *Grid) Forward2D() { g.transform2D(false) }
+func (g *Grid) Forward2D() { NewPlan(g.W, g.H).Forward2D(g.Data) }
 
 // Inverse2D performs an in-place inverse 2-D FFT with 1/(W·H) scaling.
-func (g *Grid) Inverse2D() { g.transform2D(true) }
-
-func (g *Grid) transform2D(inverse bool) {
-	// Rows.
-	for y := 0; y < g.H; y++ {
-		row := g.Data[y*g.W : (y+1)*g.W]
-		if inverse {
-			Inverse(row)
-		} else {
-			Forward(row)
-		}
-	}
-	// Columns via a scratch vector.
-	col := make([]complex128, g.H)
-	for x := 0; x < g.W; x++ {
-		for y := 0; y < g.H; y++ {
-			col[y] = g.Data[y*g.W+x]
-		}
-		if inverse {
-			Inverse(col)
-		} else {
-			Forward(col)
-		}
-		for y := 0; y < g.H; y++ {
-			g.Data[y*g.W+x] = col[y]
-		}
-	}
-}
+func (g *Grid) Inverse2D() { NewPlan(g.W, g.H).Inverse2D(g.Data) }
 
 // Convolve2D computes the cyclic 2-D convolution of src with kernel and
 // writes the real part into dst (row-major, w*h). All three must describe
 // the same power-of-two dimensions. src and kernel are real-valued inputs.
 //
 // Callers wanting a *linear* convolution must zero-pad to at least double
-// size themselves; internal/density does so.
+// size themselves; internal/density does so. Iterative callers that reuse
+// the same kernel should hold a Plan and cache its Spectrum instead (one
+// forward transform per call instead of two).
 func Convolve2D(dst, src, kernel []float64, w, h int) {
-	if len(dst) != w*h || len(src) != w*h || len(kernel) != w*h {
-		panic("fft: Convolve2D dimension mismatch")
-	}
-	if convolveSeconds != nil {
-		start := time.Now()
-		defer func() { convolveSeconds.Observe(time.Since(start).Seconds()) }()
-	}
-	a := NewGrid(w, h)
-	b := NewGrid(w, h)
-	for i := range src {
-		a.Data[i] = complex(src[i], 0)
-		b.Data[i] = complex(kernel[i], 0)
-	}
-	a.Forward2D()
-	b.Forward2D()
-	for i := range a.Data {
-		a.Data[i] *= b.Data[i]
-	}
-	a.Inverse2D()
-	for i := range dst {
-		dst[i] = real(a.Data[i])
-	}
+	p := pooledPlan(w, h)
+	p.Convolve(dst, src, kernel)
+	putPooledPlan(p)
 }

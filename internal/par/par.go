@@ -1,0 +1,65 @@
+// Package par centralizes the parallel-execution policy shared by the
+// hot-path packages: one size threshold deciding when a loop is worth
+// fanning out to goroutines, and a chunked fork-join helper whose chunk
+// ordering is deterministic. sparse (MulVec), fft (the 2-D transform
+// passes) and density (the demand gather) all consult the same knob, so a
+// single tunable governs when parallelism engages across the engine.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Threshold is the minimum number of independent work items (matrix rows,
+// grid elements, cells) before a hot path fans out to goroutines; below it
+// the scheduling overhead outweighs the win. Tests lower it to force the
+// parallel paths onto small fixtures; benchmarks may raise it to pin a
+// serial baseline.
+var Threshold = 8192
+
+// Workers returns the goroutine count for n independent work items: 1 below
+// Threshold, otherwise runtime.GOMAXPROCS(0) capped at n.
+func Workers(n int) int {
+	if n < Threshold {
+		return 1
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run partitions [0, n) into at most workers contiguous chunks — worker k
+// always receives chunk k, so callers that gather per-worker output can
+// merge it in a deterministic order — runs fn on each concurrently, and
+// waits for all of them. workers <= 1 calls fn(0, 0, n) inline.
+func Run(workers, n int, fn func(worker, lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, 0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	worker := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(worker, lo, hi)
+		worker++
+	}
+	wg.Wait()
+}

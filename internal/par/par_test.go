@@ -1,0 +1,73 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersBelowThreshold(t *testing.T) {
+	old := Threshold
+	Threshold = 100
+	defer func() { Threshold = old }()
+	if w := Workers(99); w != 1 {
+		t.Errorf("Workers(99) = %d, want 1", w)
+	}
+	if w := Workers(100); w < 1 {
+		t.Errorf("Workers(100) = %d, want >= 1", w)
+	}
+}
+
+func TestWorkersNeverExceedItems(t *testing.T) {
+	old := Threshold
+	Threshold = 1
+	defer func() { Threshold = old }()
+	if w := Workers(2); w > 2 {
+		t.Errorf("Workers(2) = %d, want <= 2", w)
+	}
+}
+
+func TestRunCoversRangeExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		const n = 103
+		var hits [n]int32
+		Run(workers, n, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestRunWorkerChunksAreOrdered(t *testing.T) {
+	const n = 40
+	bounds := make([][2]int, 8)
+	Run(4, n, func(w, lo, hi int) { bounds[w] = [2]int{lo, hi} })
+	prev := 0
+	for w := 0; w < 4 && bounds[w][1] > 0; w++ {
+		if bounds[w][0] != prev {
+			t.Fatalf("worker %d starts at %d, want %d", w, bounds[w][0], prev)
+		}
+		prev = bounds[w][1]
+	}
+	if prev != n {
+		t.Fatalf("chunks cover up to %d, want %d", prev, n)
+	}
+}
+
+func TestRunEmptyRange(t *testing.T) {
+	called := 0
+	Run(4, 0, func(_, lo, hi int) {
+		called++
+		if lo != 0 || hi != 0 {
+			t.Errorf("empty range got [%d,%d)", lo, hi)
+		}
+	})
+	if called != 1 {
+		t.Errorf("fn called %d times, want 1", called)
+	}
+}

@@ -73,6 +73,18 @@ type Config struct {
 	// caller never reads. Per-run aggregates (Result.Phases, HPWL,
 	// Overflow, Iterations) are still filled, and OnIteration still fires.
 	NoTrace bool
+	// NoWarmStart disables seeding each transformation's CG solve with the
+	// previous transformation's displacement response. Cells move slowly
+	// between transformations (§4.2), so the warm start normally saves CG
+	// iterations at identical tolerance; disable it to reproduce the
+	// zero-guess baseline.
+	NoWarmStart bool
+	// NoReuse disables the iteration-reuse caches: the quadratic system is
+	// rebuilt from scratch (fresh sort/merge) and the density field solver
+	// re-transforms the Green's-function kernel on every transformation.
+	// The cold path is the benchmark baseline for BENCH_step.json; normal
+	// runs leave it false.
+	NoReuse bool
 	// Spans, when set, receives per-phase span recordings
 	// ("place/gather", "place/field", "place/build", "place/solve-x",
 	// "place/solve-y", "place/weight", "place/step") for every placement
@@ -212,6 +224,13 @@ type Placer struct {
 	pending []geom.Point  // externally queued forces for the next Step
 	iter    int
 	met     placeMetrics
+
+	// asm caches the quadratic system's sparsity pattern and storage
+	// across transformations; nil under Config.NoReuse.
+	asm *qp.Assembler
+	// warmDX/warmDY hold the previous transformation's displacement
+	// response, the CG starting guess of the next one.
+	warmDX, warmDY []float64
 }
 
 // placeMetrics caches the registry handles resolved once in New; all are
@@ -274,7 +293,7 @@ func New(nl *netlist.Netlist, cfg Config) *Placer {
 	if cny < 2 {
 		cny = 2
 	}
-	return &Placer{
+	p := &Placer{
 		nl:     nl,
 		cfg:    cfg,
 		grid:   density.NewGrid(nl.Region.Outline, nx, ny),
@@ -282,6 +301,20 @@ func New(nl *netlist.Netlist, cfg Config) *Placer {
 		forces: make([]geom.Point, len(nl.Cells)),
 		met:    newPlaceMetrics(cfg.Metrics),
 	}
+	p.grid.NoCache = cfg.NoReuse
+	if !cfg.NoReuse {
+		p.asm = qp.NewAssembler(nl, qp.Options{Linearize: !cfg.NoLinearize, Model: cfg.NetModel})
+	}
+	return p
+}
+
+// system assembles the quadratic system for the netlist's current state,
+// through the pattern-caching assembler when iteration reuse is on.
+func (p *Placer) system() *qp.System {
+	if p.asm != nil {
+		return p.asm.Assemble()
+	}
+	return qp.Build(p.nl, qp.Options{Linearize: !p.cfg.NoLinearize, Model: p.cfg.NetModel})
 }
 
 // Netlist returns the netlist being placed.
@@ -303,6 +336,7 @@ func (p *Placer) Initialize() error {
 	for i := range p.forces {
 		p.forces[i] = geom.Point{}
 	}
+	p.warmDX, p.warmDY = nil, nil
 	if p.cfg.KeepPlacement {
 		return nil
 	}
@@ -312,7 +346,7 @@ func (p *Placer) Initialize() error {
 			p.nl.Cells[i].Pos = c
 		}
 	}
-	sys := qp.Build(p.nl, qp.Options{Linearize: !p.cfg.NoLinearize, Model: p.cfg.NetModel})
+	sys := p.system()
 	_, err := sys.Solve(nil, p.cfg.CG)
 	return err
 }
@@ -345,7 +379,7 @@ func (p *Placer) Step() (IterStats, error) {
 	// Assemble the (possibly re-linearized) quadratic system; the force
 	// normalization depends on its stiffness.
 	mark = time.Now()
-	sys := qp.Build(nl, qp.Options{Linearize: !cfg.NoLinearize, Model: cfg.NetModel})
+	sys := p.system()
 	tBuild = time.Since(mark)
 
 	// Force increment normalization (§4.1): the strongest field force is
@@ -415,9 +449,22 @@ func (p *Placer) Step() (IterStats, error) {
 
 	// Apply the transformation: starting from the previous equilibrium,
 	// growing e by the increment moves the solution of C·p + d + e = 0 by
-	// exactly δ = C⁻¹·inc (eq. 3, incremental form).
+	// exactly δ = C⁻¹·inc (eq. 3, incremental form). Cells move slowly
+	// between transformations, so the previous transformation's displacement
+	// response is a good CG starting guess for this one; SolveDeltaFrom
+	// overwrites the guess with the new response, priming the next iteration.
 	before := nl.Snapshot()
-	res, err := sys.SolveDelta(inc, cfg.CG)
+	var res qp.SolveResult
+	var err error
+	if cfg.NoWarmStart {
+		res, err = sys.SolveDelta(inc, cfg.CG)
+	} else {
+		if len(p.warmDX) != sys.N() {
+			p.warmDX = make([]float64, sys.N())
+			p.warmDY = make([]float64, sys.N())
+		}
+		res, err = sys.SolveDeltaFrom(inc, p.warmDX, p.warmDY, cfg.CG)
+	}
 
 	// Per-axis trust region: K also bounds how far one transformation may
 	// move any cell (K·W horizontally, K·H vertically, saturating at 45 %

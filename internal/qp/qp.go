@@ -64,14 +64,32 @@ type System struct {
 }
 
 // Build assembles the system from the netlist's current state (weights,
-// and — when linearizing — current positions).
+// and — when linearizing — current positions). Iterative callers that
+// rebuild the same netlist repeatedly should hold an Assembler instead,
+// which caches the sparsity pattern and storage between assemblies.
 func Build(nl *netlist.Netlist, opts Options) *System {
+	s := newSkeleton(nl, normalize(opts))
+	b := sparse.NewBuilder(s.N())
+	s.assembleInto(b)
+	s.C = b.Build()
+	return s
+}
+
+// normalize fills Options defaults.
+func normalize(opts Options) Options {
 	if opts.MinDist <= 0 {
 		opts.MinDist = 1
 	}
 	if opts.HybridThreshold <= 0 {
 		opts.HybridThreshold = 10
 	}
+	return opts
+}
+
+// newSkeleton allocates the structural half of a system: the cell/variable
+// maps and the d vectors. Valid until the netlist's cell or fixed-flag set
+// changes.
+func newSkeleton(nl *netlist.Netlist, opts Options) *System {
 	s := &System{nl: nl, opts: opts}
 	s.VarOf = make([]int, len(nl.Cells))
 	for i := range nl.Cells {
@@ -83,10 +101,21 @@ func Build(nl *netlist.Netlist, opts Options) *System {
 		}
 	}
 	n := len(s.CellOf)
-	b := sparse.NewBuilder(n)
 	s.Dx = make([]float64, n)
 	s.Dy = make([]float64, n)
+	return s
+}
 
+// assembleInto zeroes d and accumulates every net plus the anchor springs
+// into b. The triplet insertion sequence is fully determined by the netlist
+// topology and the model options — never by weights or positions — which is
+// what lets Assembler replay it against a cached sparsity pattern.
+func (s *System) assembleInto(b *sparse.Builder) {
+	nl := s.nl
+	for vi := range s.Dx {
+		s.Dx[vi] = 0
+		s.Dy[vi] = 0
+	}
 	totalW := 0.0
 	for ni := range nl.Nets {
 		totalW += s.assembleNet(b, ni)
@@ -95,9 +124,9 @@ func Build(nl *netlist.Netlist, opts Options) *System {
 	// Anchor springs to the region center keep C strictly positive
 	// definite even for floating components, and bound the displacement
 	// response of isolated cell islands to external forces.
-	anchor := opts.Anchor
+	anchor := s.opts.Anchor
 	if anchor <= 0 {
-		anchor = 1e-4 * (totalW/float64(maxInt(n, 1)) + 1)
+		anchor = 1e-4 * (totalW/float64(maxInt(len(s.CellOf), 1)) + 1)
 	}
 	c := nl.Region.Outline.Center()
 	for vi := range s.CellOf {
@@ -105,9 +134,6 @@ func Build(nl *netlist.Netlist, opts Options) *System {
 		s.Dx[vi] -= anchor * c.X
 		s.Dy[vi] -= anchor * c.Y
 	}
-
-	s.C = b.Build()
-	return s
 }
 
 // assembleNet adds net ni under the selected model and returns the summed
@@ -286,10 +312,23 @@ func solveBoth(c *sparse.CSR, x, bx, y, by []float64, opt sparse.CGOptions, out 
 // C·p + d + e = 0 with e grown by −f — but conditioned on the increment, so
 // small forces still move cells even when the absolute system is large.
 func (s *System) SolveDelta(forces []geom.Point, opt sparse.CGOptions) (SolveResult, error) {
+	n := s.N()
+	return s.SolveDeltaFrom(forces, make([]float64, n), make([]float64, n), opt)
+}
+
+// SolveDeltaFrom is SolveDelta with an explicit CG starting guess: dx0 and
+// dy0 (length N) carry a prediction of the displacement response on entry
+// and the solved δ on return. Placement transformations move cells slowly
+// (§4.2), so the previous transformation's response is a strong guess that
+// saves CG iterations; SolveDelta is the zero-guess special case.
+func (s *System) SolveDeltaFrom(forces []geom.Point, dx0, dy0 []float64, opt sparse.CGOptions) (SolveResult, error) {
 	nl := s.nl
 	n := s.N()
 	if n == 0 {
 		return SolveResult{}, nil
+	}
+	if len(dx0) != n || len(dy0) != n {
+		panic("qp: SolveDeltaFrom guess length mismatch")
 	}
 	bx := make([]float64, n)
 	by := make([]float64, n)
@@ -299,13 +338,11 @@ func (s *System) SolveDelta(forces []geom.Point, opt sparse.CGOptions) (SolveRes
 			by[vi] = forces[ci].Y
 		}
 	}
-	dx := make([]float64, n)
-	dy := make([]float64, n)
 	var out SolveResult
-	errX, errY := solveBoth(s.C, dx, bx, dy, by, opt, &out)
+	errX, errY := solveBoth(s.C, dx0, bx, dy0, by, opt, &out)
 	for vi, ci := range s.CellOf {
-		nl.Cells[ci].Pos.X += dx[vi]
-		nl.Cells[ci].Pos.Y += dy[vi]
+		nl.Cells[ci].Pos.X += dx0[vi]
+		nl.Cells[ci].Pos.Y += dy0[vi]
 	}
 	if errX != nil {
 		return out, fmt.Errorf("qp: x delta solve: %w", errX)

@@ -7,9 +7,9 @@ package sparse
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
+
+	"repro/internal/par"
 )
 
 // Builder accumulates matrix entries in triplet form. Duplicate (row,col)
@@ -101,37 +101,16 @@ func (m *CSR) At(i, j int) float64 {
 }
 
 // MulVec computes dst = M·x. dst and x must have length N and not alias.
-// Large matrices are processed on all CPUs; the result is deterministic
-// either way (each row is written by exactly one goroutine).
+// Matrices with at least par.Threshold rows are processed on all CPUs; the
+// result is deterministic either way (each row is written by exactly one
+// goroutine, with the same per-row kernel as the serial path).
 func (m *CSR) MulVec(dst, x []float64) {
 	if len(dst) != m.n || len(x) != m.n {
 		panic("sparse: MulVec dimension mismatch")
 	}
-	workers := 1
-	if m.n >= 8192 {
-		workers = runtime.GOMAXPROCS(0)
-		if workers > 8 {
-			workers = 8
-		}
-	}
-	if workers == 1 {
-		m.mulRange(dst, x, 0, m.n)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (m.n + workers - 1) / workers
-	for lo := 0; lo < m.n; lo += chunk {
-		hi := lo + chunk
-		if hi > m.n {
-			hi = m.n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			m.mulRange(dst, x, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	par.Run(par.Workers(m.n), m.n, func(_, lo, hi int) {
+		m.mulRange(dst, x, lo, hi)
+	})
 }
 
 func (m *CSR) mulRange(dst, x []float64, lo, hi int) {
@@ -144,11 +123,21 @@ func (m *CSR) mulRange(dst, x []float64, lo, hi int) {
 	}
 }
 
-// Diag extracts the diagonal into a new slice.
+// Diag extracts the diagonal into a new slice in one pass over the row
+// structure (columns are sorted within each row, so the scan stops at the
+// first entry at or past the diagonal). CG reads the diagonal on every
+// solve for Jacobi preconditioning.
 func (m *CSR) Diag() []float64 {
 	d := make([]float64, m.n)
 	for i := 0; i < m.n; i++ {
-		d[i] = m.At(i, i)
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			if c := m.cols[k]; c >= i {
+				if c == i {
+					d[i] = m.vals[k]
+				}
+				break
+			}
+		}
 	}
 	return d
 }

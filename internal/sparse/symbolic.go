@@ -1,0 +1,111 @@
+package sparse
+
+// Symbolic assembly support: placement matrices are re-assembled hundreds
+// of times per run with an identical sparsity pattern (the netlist topology
+// fixes which (row, col) pairs exist; only the spring weights change).
+// BuildSymbolic performs the triplet sort/merge once and records, for every
+// triplet insertion slot, the stored entry it folds into; Refill then turns
+// each subsequent assembly into a straight value scatter with no sorting
+// and no allocation.
+
+// Reset clears the builder's accumulated entries while keeping the
+// allocated row storage, so a numeric re-assembly of the same pattern does
+// not re-allocate.
+func (b *Builder) Reset() {
+	for i := range b.rows {
+		b.rows[i] = b.rows[i][:0]
+	}
+}
+
+// Symbolic is the reusable half of Build: the triplet→entry mapping of one
+// compaction. It stays valid for any later Builder state that adds the same
+// (row, col) sequence — the values are free to differ.
+type Symbolic struct {
+	n     int
+	slots [][]int32 // shaped like Builder.rows at BuildSymbolic time
+}
+
+// BuildSymbolic compacts the triplets like Build and additionally returns
+// the mapping needed by Refill. Unlike Build it keeps entries whose merged
+// value is exactly zero: the pattern must depend only on the insertion
+// sequence, never on the values, or a later Refill could need a slot that
+// was dropped. Merged duplicate values are summed in insertion order, the
+// same order Refill uses, so a refilled matrix is bit-identical to a
+// symbolically built one given the same triplets.
+func (b *Builder) BuildSymbolic() (*CSR, *Symbolic) {
+	m := &CSR{n: b.n, rowPtr: make([]int, b.n+1)}
+	sym := &Symbolic{n: b.n, slots: make([][]int32, b.n)}
+	nnz := 0
+	for _, r := range b.rows {
+		nnz += len(r)
+	}
+	m.cols = make([]int, 0, nnz)
+	var perm []int
+	for i, r := range b.rows {
+		perm = perm[:0]
+		for k := range r {
+			perm = append(perm, k)
+		}
+		insertionSort(perm, r)
+		slots := make([]int32, len(r))
+		for k := 0; k < len(perm); {
+			j := r[perm[k]].col
+			slot := int32(len(m.cols))
+			for ; k < len(perm) && r[perm[k]].col == j; k++ {
+				slots[perm[k]] = slot
+			}
+			m.cols = append(m.cols, j)
+		}
+		sym.slots[i] = slots
+		m.rowPtr[i+1] = len(m.cols)
+	}
+	m.vals = make([]float64, len(m.cols))
+	if !sym.Refill(m, b) {
+		panic("sparse: BuildSymbolic self-refill failed")
+	}
+	return m, sym
+}
+
+// insertionSort orders perm by r[perm[k]].col. Rows are short (net degree
+// plus a diagonal run) and mostly pre-sorted by construction, where
+// insertion sort beats the closure-driven sort.Slice used on the one-shot
+// path.
+func insertionSort(perm []int, r []entry) {
+	for i := 1; i < len(perm); i++ {
+		p := perm[i]
+		c := r[p].col
+		j := i - 1
+		for ; j >= 0 && r[perm[j]].col > c; j-- {
+			perm[j+1] = perm[j]
+		}
+		perm[j+1] = p
+	}
+}
+
+// Refill re-derives m's values from b's current triplets through the
+// recorded pattern, skipping the sort/merge entirely. It reports false when
+// b's triplet shape no longer matches the pattern (different row lengths or
+// columns) — m's values are then unspecified and the caller must fall back
+// to a full Build.
+func (sym *Symbolic) Refill(m *CSR, b *Builder) bool {
+	if b.n != sym.n || m.n != sym.n || len(b.rows) != len(sym.slots) {
+		return false
+	}
+	for i := range m.vals {
+		m.vals[i] = 0
+	}
+	for i, r := range b.rows {
+		slots := sym.slots[i]
+		if len(r) != len(slots) {
+			return false
+		}
+		for k := range r {
+			s := slots[k]
+			if int(s) >= len(m.cols) || m.cols[s] != r[k].col {
+				return false
+			}
+			m.vals[s] += r[k].val
+		}
+	}
+	return true
+}
