@@ -1,0 +1,72 @@
+// Command kvet runs the repo's static-analysis suite (internal/lint) over
+// the named package patterns and exits non-zero on any finding. It is the
+// CI gate for the invariants the hot-path engine depends on: deterministic
+// iteration (detrange), clock and randomness discipline (noclock),
+// centralized parallelism (parpolicy), no exact float equality (floatcmp)
+// and the obsv nil-handle contract (nilsafe).
+//
+// Usage:
+//
+//	kvet [-tags tags] [-list] [patterns ...]
+//
+// Patterns default to ./... . Findings print as
+// file:line:col: [analyzer] message. Suppress a deliberate exception with
+// a "//lint:ignore <analyzer> <reason>" comment on or directly above the
+// flagged line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+func main() {
+	tags := flag.String("tags", "", "build tags to select files, forwarded to go list")
+	list := flag.Bool("list", false, "print the analyzers and their package policy, then exit")
+	flag.Parse()
+
+	rules := lint.Rules()
+	if *list {
+		for _, r := range rules {
+			fmt.Printf("%-10s %s\n", r.Analyzer.Name, r.Analyzer.Doc)
+		}
+		return
+	}
+
+	pkgs, err := load.Load(load.Config{BuildTags: *tags}, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kvet:", err)
+		os.Exit(2)
+	}
+
+	found := 0
+	for _, pkg := range pkgs {
+		var active []*analysis.Analyzer
+		for _, r := range rules {
+			if r.AppliesTo(pkg.ImportPath) {
+				active = append(active, r.Analyzer)
+			}
+		}
+		if len(active) == 0 {
+			continue
+		}
+		findings, err := lint.Run(pkg, active)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kvet: %s: %v\n", pkg.ImportPath, err)
+			os.Exit(2)
+		}
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
+		found += len(findings)
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "kvet: %d finding(s)\n", found)
+		os.Exit(1)
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/netlist"
+	"repro/internal/obsv"
 )
 
 // Effort selects the preset standing in for the published TimberWolf
@@ -98,10 +99,10 @@ type state struct {
 // Place anneals nl's movable cells and writes the resulting positions.
 func Place(nl *netlist.Netlist, cfg Config) (Result, error) {
 	cfg.setDefaults()
-	start := time.Now()
+	start := obsv.StartTimer()
 	s := newState(nl, cfg)
 	res := s.run()
-	res.Runtime = time.Since(start)
+	res.Runtime = start.Elapsed()
 	res.HPWL = nl.HPWL()
 	return res, nil
 }

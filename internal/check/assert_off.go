@@ -1,0 +1,28 @@
+//go:build !kraftwerkcheck
+
+package check
+
+import (
+	"repro/internal/density"
+	"repro/internal/netlist"
+	"repro/internal/sparse"
+)
+
+// Enabled reports whether this build carries the kraftwerkcheck tag; in
+// this build every assertion below is an inlineable no-op.
+const Enabled = false
+
+// Symmetric is a no-op without the kraftwerkcheck tag.
+func Symmetric(name string, m *sparse.CSR, tol float64) {}
+
+// SPDHint is a no-op without the kraftwerkcheck tag.
+func SPDHint(name string, m *sparse.CSR, tol float64) {}
+
+// Finite is a no-op without the kraftwerkcheck tag.
+func Finite(name string, xs []float64) {}
+
+// DensityBalanced is a no-op without the kraftwerkcheck tag.
+func DensityBalanced(name string, g *density.Grid, tol float64) {}
+
+// CellsFinite is a no-op without the kraftwerkcheck tag.
+func CellsFinite(name string, nl *netlist.Netlist) {}

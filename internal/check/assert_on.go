@@ -1,0 +1,96 @@
+//go:build kraftwerkcheck
+
+package check
+
+import (
+	"math"
+
+	"repro/internal/density"
+	"repro/internal/netlist"
+	"repro/internal/sparse"
+)
+
+// Enabled reports whether this build carries the kraftwerkcheck tag and
+// the assertions below are live.
+const Enabled = true
+
+// Symmetric asserts m is symmetric within tol: the quadratic form
+// Φ = ½·pᵀCp + dᵀp + const only has C as its Hessian when C = Cᵀ, and CG
+// silently produces garbage on asymmetric systems.
+func Symmetric(name string, m *sparse.CSR, tol float64) {
+	if m == nil {
+		failf("%s: nil matrix", name)
+		return
+	}
+	if !m.IsSymmetric(tol) {
+		failf("%s: matrix is not symmetric within %g", name, tol)
+	}
+}
+
+// SPDHint asserts the cheap sufficient conditions for positive
+// definiteness that the spring assembly guarantees: every diagonal entry
+// strictly positive and every row weakly diagonally dominant (Gershgorin
+// then puts all eigenvalues in the right half plane). A violation means
+// a net weight went negative or an anchor vanished.
+func SPDHint(name string, m *sparse.CSR, tol float64) {
+	if m == nil {
+		failf("%s: nil matrix", name)
+		return
+	}
+	for i, d := range m.Diag() {
+		if !(d > 0) {
+			failf("%s: diagonal entry %d is %g, want > 0", name, i, d)
+			return
+		}
+	}
+	if !m.RowDiagonallyDominant(tol) {
+		failf("%s: matrix is not row diagonally dominant within %g", name, tol)
+	}
+}
+
+// Finite asserts no element of xs is NaN or ±Inf. The FFT field solve is
+// the usual source: one NaN in the density map poisons every force.
+func Finite(name string, xs []float64) {
+	for i, v := range xs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			failf("%s: element %d is %g", name, i, v)
+			return
+		}
+	}
+}
+
+// DensityBalanced asserts the grid's supply/demand bookkeeping: ∫D must
+// vanish (the supply scaling enforces it) or the Poisson solve acquires a
+// spurious uniform charge. The tolerance is relative to total demand.
+func DensityBalanced(name string, g *density.Grid, tol float64) {
+	if g == nil {
+		failf("%s: nil grid", name)
+		return
+	}
+	var demand float64
+	for _, d := range g.Demand {
+		demand += d
+	}
+	if demand == 0 {
+		return // empty design: D is identically zero
+	}
+	if imbalance := math.Abs(g.TotalD()); imbalance > tol*demand {
+		failf("%s: ∫D = %g exceeds %g of total demand %g", name, imbalance, tol, demand)
+	}
+}
+
+// CellsFinite asserts every cell position is a finite point; a NaN
+// position silently absorbs a cell into the void on the next gather.
+func CellsFinite(name string, nl *netlist.Netlist) {
+	if nl == nil {
+		failf("%s: nil netlist", name)
+		return
+	}
+	for ci := range nl.Cells {
+		p := nl.Cells[ci].Pos
+		if math.IsNaN(p.X) || math.IsInf(p.X, 0) || math.IsNaN(p.Y) || math.IsInf(p.Y, 0) {
+			failf("%s: cell %d at (%g, %g)", name, ci, p.X, p.Y)
+			return
+		}
+	}
+}

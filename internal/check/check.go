@@ -1,0 +1,24 @@
+// Package check is the runtime half of the correctness tooling: cheap
+// spot-check assertions over the numeric invariants the placement engine
+// relies on (matrix symmetry and positive-definiteness hints, density
+// supply/demand balance, NaN/Inf field scans). The assertions compile to
+// no-ops unless the build carries the kraftwerkcheck tag:
+//
+//	go test -tags kraftwerkcheck ./...
+//	go build -tags kraftwerkcheck ./cmd/kplace
+//
+// so production binaries pay nothing while a checked build validates every
+// iteration. Static analysis (cmd/kvet) and these dynamic assertions cover
+// each other: kvet proves structural discipline (determinism, parallelism
+// policy), check catches the numeric failures no syntax can express.
+package check
+
+import "fmt"
+
+// OnFail receives every assertion failure message. The default panics;
+// tests replace it to record and continue. Only a kraftwerkcheck build
+// ever calls it.
+var OnFail = func(msg string) { panic("check: " + msg) }
+
+// failf formats and delivers one assertion failure.
+func failf(format string, args ...any) { OnFail(fmt.Sprintf(format, args...)) }

@@ -1,0 +1,34 @@
+//go:build kraftwerkcheck
+
+package check_test
+
+import (
+	"testing"
+
+	"repro/internal/netgen"
+	"repro/internal/place"
+)
+
+// TestHealthyRunSilent drives a 2k-cell placement for a bounded number of
+// transformations with the assertions armed and the default (panicking)
+// OnFail in place: a healthy run must never trip one. This is the
+// end-to-end soak for the invariants place.Step asserts every iteration
+// (C = Cᵀ, SPD hints, finite fields, ∫D ≈ 0, finite positions).
+func TestHealthyRunSilent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping 2k-cell soak in -short mode")
+	}
+	nl := netgen.Generate(netgen.Config{
+		Name:  "healthy2k",
+		Cells: 2000,
+		Nets:  2400,
+		Rows:  40,
+		Seed:  7,
+	})
+	p := place.New(nl, place.Config{MaxIter: 20})
+	for i := 0; i < 20; i++ {
+		if _, err := p.Step(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+}

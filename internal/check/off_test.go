@@ -1,0 +1,27 @@
+//go:build !kraftwerkcheck
+
+package check_test
+
+import (
+	"testing"
+
+	"repro/internal/check"
+)
+
+// TestDisabledNoOps verifies the untagged build: Enabled is false and every
+// assertion is a no-op that tolerates even nil arguments without reaching
+// OnFail.
+func TestDisabledNoOps(t *testing.T) {
+	if check.Enabled {
+		t.Fatal("check.Enabled = true without the kraftwerkcheck tag")
+	}
+	prev := check.OnFail
+	check.OnFail = func(msg string) { t.Fatalf("assertion fired in untagged build: %s", msg) }
+	defer func() { check.OnFail = prev }()
+
+	check.Symmetric("s", nil, 0)
+	check.SPDHint("p", nil, 0)
+	check.Finite("f", nil)
+	check.DensityBalanced("d", nil, 0)
+	check.CellsFinite("c", nil)
+}

@@ -1,0 +1,135 @@
+//go:build kraftwerkcheck
+
+package check_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/density"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/sparse"
+)
+
+// capture runs f with check.OnFail replaced by a recorder and returns every
+// failure message delivered during f.
+func capture(t *testing.T, f func()) []string {
+	t.Helper()
+	prev := check.OnFail
+	var got []string
+	check.OnFail = func(msg string) { got = append(got, msg) }
+	defer func() { check.OnFail = prev }()
+	f()
+	return got
+}
+
+// wantFail asserts exactly one failure whose message contains substr.
+func wantFail(t *testing.T, got []string, substr string) {
+	t.Helper()
+	if len(got) != 1 {
+		t.Fatalf("got %d failures %q, want exactly 1", len(got), got)
+	}
+	if !strings.Contains(got[0], substr) {
+		t.Fatalf("failure %q does not mention %q", got[0], substr)
+	}
+}
+
+// wantSilent asserts no failure was delivered.
+func wantSilent(t *testing.T, got []string) {
+	t.Helper()
+	if len(got) != 0 {
+		t.Fatalf("unexpected failures: %q", got)
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	if !check.Enabled {
+		t.Fatal("check.Enabled = false in a kraftwerkcheck build")
+	}
+}
+
+func TestSymmetric(t *testing.T) {
+	b := sparse.NewBuilder(2)
+	b.Add(0, 0, 2)
+	b.Add(1, 1, 2)
+	b.Add(0, 1, 1) // no matching (1,0): asymmetric
+	bad := b.Build()
+	wantFail(t, capture(t, func() { check.Symmetric("bad", bad, 1e-12) }), "not symmetric")
+
+	b = sparse.NewBuilder(2)
+	b.AddSym(0, 1, -1)
+	b.Add(0, 0, 2)
+	b.Add(1, 1, 2)
+	good := b.Build()
+	wantSilent(t, capture(t, func() { check.Symmetric("good", good, 1e-12) }))
+
+	wantFail(t, capture(t, func() { check.Symmetric("nil", nil, 1e-12) }), "nil matrix")
+}
+
+func TestSPDHint(t *testing.T) {
+	b := sparse.NewBuilder(2)
+	b.Add(0, 0, -1) // negative diagonal
+	b.Add(1, 1, 2)
+	negDiag := b.Build()
+	wantFail(t, capture(t, func() { check.SPDHint("negdiag", negDiag, 1e-12) }), "diagonal")
+
+	b = sparse.NewBuilder(2)
+	b.Add(0, 0, 1)
+	b.Add(1, 1, 1)
+	b.AddSym(0, 1, -5) // off-diagonal dominates the row
+	loose := b.Build()
+	wantFail(t, capture(t, func() { check.SPDHint("loose", loose, 1e-12) }), "diagonally dominant")
+
+	// A 1-D spring chain with an anchor: classic SPD placement matrix.
+	b = sparse.NewBuilder(3)
+	for i := 0; i < 3; i++ {
+		b.Add(i, i, 2.5) // 2 from neighbours + 0.5 anchor
+	}
+	b.AddSym(0, 1, -1)
+	b.AddSym(1, 2, -1)
+	good := b.Build()
+	wantSilent(t, capture(t, func() { check.SPDHint("good", good, 1e-12) }))
+}
+
+func TestFinite(t *testing.T) {
+	wantFail(t, capture(t, func() { check.Finite("nan", []float64{0, math.NaN(), 1}) }), "element 1")
+	wantFail(t, capture(t, func() { check.Finite("inf", []float64{math.Inf(-1)}) }), "element 0")
+	wantSilent(t, capture(t, func() { check.Finite("ok", []float64{-1e300, 0, 1e300}) }))
+	wantSilent(t, capture(t, func() { check.Finite("empty", nil) }))
+}
+
+func TestDensityBalanced(t *testing.T) {
+	region := geom.NewRect(0, 0, 4, 4)
+	g := density.NewGrid(region, 2, 2)
+	g.Demand[0] = 1
+	g.D[0] = 1 // ∫D = 1 against total demand 1: badly unbalanced
+	wantFail(t, capture(t, func() { check.DensityBalanced("bad", g, 1e-6) }), "∫D")
+
+	g = density.NewGrid(region, 2, 2)
+	g.Demand[0] = 1
+	g.D[0] = 0.5
+	g.D[1] = -0.5 // cancels exactly
+	wantSilent(t, capture(t, func() { check.DensityBalanced("good", g, 1e-6) }))
+
+	// Empty design: zero demand is legal and D is identically zero.
+	g = density.NewGrid(region, 2, 2)
+	wantSilent(t, capture(t, func() { check.DensityBalanced("empty", g, 1e-6) }))
+
+	wantFail(t, capture(t, func() { check.DensityBalanced("nil", nil, 1e-6) }), "nil grid")
+}
+
+func TestCellsFinite(t *testing.T) {
+	nl := &netlist.Netlist{Cells: []netlist.Cell{
+		{Pos: geom.Point{X: 1, Y: 2}},
+		{Pos: geom.Point{X: math.NaN(), Y: 0}},
+	}}
+	wantFail(t, capture(t, func() { check.CellsFinite("bad", nl) }), "cell 1")
+
+	nl.Cells[1].Pos = geom.Point{X: 3, Y: 4}
+	wantSilent(t, capture(t, func() { check.CellsFinite("good", nl) }))
+
+	wantFail(t, capture(t, func() { check.CellsFinite("nil", nil) }), "nil netlist")
+}

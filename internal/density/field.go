@@ -2,7 +2,6 @@ package density
 
 import (
 	"math"
-	"time"
 
 	"repro/internal/fft"
 	"repro/internal/geom"
@@ -63,10 +62,7 @@ func ComputeField(g *Grid, m Method) *Field {
 			m = Direct
 		}
 	}
-	var start time.Time
-	if fieldSeconds[m] != nil {
-		start = time.Now()
-	}
+	observe := fieldSeconds[m].Time()
 	var f *Field
 	switch m {
 	case Direct:
@@ -76,9 +72,7 @@ func ComputeField(g *Grid, m Method) *Field {
 	default:
 		panic("density: unknown field method")
 	}
-	if h := fieldSeconds[m]; h != nil {
-		h.Observe(time.Since(start).Seconds())
-	}
+	observe()
 	return f
 }
 

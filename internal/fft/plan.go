@@ -6,7 +6,6 @@ import (
 	"math/bits"
 	"math/cmplx"
 	"sync"
-	"time"
 
 	"repro/internal/par"
 )
@@ -185,10 +184,7 @@ func (p *Plan) Convolve(dst, src, kernel []float64) {
 	if len(dst) != n || len(src) != n || len(kernel) != n {
 		panic("fft: Convolve dimension mismatch")
 	}
-	if convolveSeconds != nil {
-		start := time.Now()
-		defer func() { convolveSeconds.Observe(time.Since(start).Seconds()) }()
-	}
+	defer convolveSeconds.Time()()
 	a, b := p.scratch()
 	for i := range src {
 		a[i] = complex(src[i], 0)
@@ -214,10 +210,7 @@ func (p *Plan) ConvolveSpectra(dsts [][]float64, src []float64, specs [][]comple
 	if len(src) != n || len(dsts) != len(specs) {
 		panic("fft: ConvolveSpectra dimension mismatch")
 	}
-	if convolveSeconds != nil {
-		start := time.Now()
-		defer func() { convolveSeconds.Observe(time.Since(start).Seconds()) }()
-	}
+	defer convolveSeconds.Time()()
 	a, b := p.scratch()
 	for i := range src {
 		a[i] = complex(src[i], 0)

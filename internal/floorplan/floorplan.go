@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/legalize"
 	"repro/internal/netlist"
+	"repro/internal/obsv"
 	"repro/internal/place"
 )
 
@@ -59,7 +60,7 @@ type Result struct {
 // flexible-block reshaping, then legalization.
 func Run(nl *netlist.Netlist, cfg Config) (Result, error) {
 	cfg.setDefaults()
-	start := time.Now()
+	start := obsv.StartTimer()
 
 	rowH := 1.0
 	if len(nl.Region.Rows) > 0 {
@@ -109,7 +110,7 @@ func Run(nl *netlist.Netlist, cfg Config) (Result, error) {
 		Blocks:   len(blocks),
 		Reshapes: reshapes,
 		HPWL:     nl.HPWL(),
-		Runtime:  time.Since(start),
+		Runtime:  start.Elapsed(),
 	}, nil
 }
 

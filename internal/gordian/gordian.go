@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/netlist"
+	"repro/internal/obsv"
 	"repro/internal/partition"
 	"repro/internal/qp"
 	"repro/internal/sparse"
@@ -70,7 +71,7 @@ type region struct {
 // place.
 func Place(nl *netlist.Netlist, cfg Config) (Result, error) {
 	cfg.setDefaults()
-	start := time.Now()
+	start := obsv.StartTimer()
 
 	var movable []int
 	for ci := range nl.Cells {
@@ -113,7 +114,7 @@ func Place(nl *netlist.Netlist, cfg Config) (Result, error) {
 	clampToRegions(nl, regions)
 	res.Regions = len(regions)
 	res.HPWL = nl.HPWL()
-	res.Runtime = time.Since(start)
+	res.Runtime = start.Elapsed()
 	return res, nil
 }
 

@@ -145,26 +145,40 @@ func widthCompatible(nl *netlist.Netlist, a, b int) bool {
 }
 
 // swapDelta returns the exact HPWL change of exchanging the centers of a
-// and b (negative = improvement).
+// and b (negative = improvement). Nets are accumulated in ascending id
+// order: summing in map order would let the last-ulp rounding of the
+// delta — and therefore the swap decision — vary between runs.
 func swapDelta(nl *netlist.Netlist, idx [][]int, a, b int) float64 {
-	nets := map[int]bool{}
-	for _, ni := range idx[a] {
-		nets[ni] = true
-	}
-	for _, ni := range idx[b] {
-		nets[ni] = true
-	}
+	nets := incidentNets(idx, []int{a, b})
 	before := 0.0
-	for ni := range nets {
+	for _, ni := range nets {
 		before += nl.Nets[ni].Weight * nl.NetHPWL(ni)
 	}
 	nl.Cells[a].Pos, nl.Cells[b].Pos = nl.Cells[b].Pos, nl.Cells[a].Pos
 	after := 0.0
-	for ni := range nets {
+	for _, ni := range nets {
 		after += nl.Nets[ni].Weight * nl.NetHPWL(ni)
 	}
 	nl.Cells[a].Pos, nl.Cells[b].Pos = nl.Cells[b].Pos, nl.Cells[a].Pos
 	return after - before
+}
+
+// incidentNets returns the deduplicated ids of all nets incident to the
+// given cells, in ascending order, so float accumulation over them is
+// bit-reproducible across runs.
+func incidentNets(idx [][]int, cells []int) []int {
+	seen := map[int]bool{}
+	var nets []int
+	for _, ci := range cells {
+		for _, ni := range idx[ci] {
+			if !seen[ni] {
+				seen[ni] = true
+				nets = append(nets, ni)
+			}
+		}
+	}
+	sort.Ints(nets)
+	return nets
 }
 
 func replaceInSeg(s *Segment, old, new int) {

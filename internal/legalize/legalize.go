@@ -64,7 +64,7 @@ type Result struct {
 // Legalize legalizes nl in place and runs the detailed improvement.
 func Legalize(nl *netlist.Netlist, opts Options) (Result, error) {
 	opts.setDefaults()
-	start := time.Now()
+	start := obsv.StartTimer()
 	res := Result{HPWLBefore: nl.HPWL()}
 	before := nl.Snapshot()
 
@@ -124,7 +124,7 @@ func Legalize(nl *netlist.Netlist, opts Options) (Result, error) {
 	res.Displacement = netlist.TotalDisplacement(before, after)
 	res.MaxDisp = netlist.MaxDisplacement(before, after)
 	res.HPWLAfter = nl.HPWL()
-	res.Runtime = time.Since(start)
+	res.Runtime = start.Elapsed()
 	return res, nil
 }
 
@@ -474,16 +474,12 @@ func improveSegment(nl *netlist.Netlist, s *Segment) int {
 // the best ordering (cells repacked over the same span).
 func tryReorder(nl *netlist.Netlist, idx [][]int, s *Segment, i, k int) bool {
 	window := s.cells[i : i+k]
-	// Collect incident nets (deduplicated).
-	netSet := map[int]bool{}
-	for _, ci := range window {
-		for _, ni := range idx[ci] {
-			netSet[ni] = true
-		}
-	}
+	// Incident nets in ascending id order: the cost sums must accumulate
+	// identically across runs or the kept ordering could differ.
+	nets := incidentNets(idx, window)
 	cost := func() float64 {
 		var c float64
-		for ni := range netSet {
+		for _, ni := range nets {
 			c += nl.Nets[ni].Weight * nl.NetHPWL(ni)
 		}
 		return c

@@ -119,16 +119,13 @@ func matchGroup(nl *netlist.Netlist, idx [][]int, segOf map[int]*Segment, group 
 	for i, ci := range group {
 		positions[i] = struct{ x, y float64 }{nl.Cells[ci].Pos.X, nl.Cells[ci].Pos.Y}
 	}
-	// Incident-net HPWL of the whole group, the exact verification metric.
-	netSet := map[int]bool{}
-	for _, ci := range group {
-		for _, ni := range idx[ci] {
-			netSet[ni] = true
-		}
-	}
+	// Incident-net HPWL of the whole group, the exact verification metric,
+	// accumulated in ascending net order so accept/revert decisions
+	// reproduce across runs.
+	nets := incidentNets(idx, group)
 	exact := func() float64 {
 		var s float64
-		for ni := range netSet {
+		for _, ni := range nets {
 			s += nl.Nets[ni].Weight * nl.NetHPWL(ni)
 		}
 		return s
@@ -170,6 +167,7 @@ func matchGroup(nl *netlist.Netlist, idx [][]int, segOf map[int]*Segment, group 
 			delta[to] += w
 		}
 	}
+	//lint:ignore detrange pure all-must-pass predicate with no accumulation; the verdict is the same in any iteration order
 	for s, d := range delta {
 		if s != nil && s.used+d > s.capacity()+1e-9 {
 			return false

@@ -1,0 +1,51 @@
+// Package analysis is a standard-library-only reimplementation of the
+// golang.org/x/tools/go/analysis core: an Analyzer is a named check, a Pass
+// hands it one type-checked package, and Report emits diagnostics. The
+// container image pins the module graph (no network, no module cache), so
+// the x/tools framework itself cannot be vendored in; this package keeps
+// kvet's analyzers source-compatible with its API surface — an analyzer
+// written against this package ports to x/tools by changing one import.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Run inspects a single package via
+// the Pass and reports findings; it must not retain the Pass after return.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// "//lint:ignore <name> <reason>" suppression comments. It must be a
+	// valid identifier.
+	Name string
+	// Doc is the one-paragraph help text: the invariant being enforced
+	// and why it matters to this repo.
+	Doc string
+	// Run applies the check to one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. Wired by the driver.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at one source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,137 @@
+// Package detrange flags `range` over maps in the core placement packages.
+// Go randomizes map iteration order, so any map range whose body is
+// order-sensitive makes a run irreproducible — and the Kraftwerk loop
+// (C·p + d + e = 0 solved iteratively) must replay bit-identically across
+// runs for the hot-path caches and the equivalence tests to mean anything.
+//
+// A map range is accepted when its body is provably order-insensitive:
+// it only collects keys/values into slices (the collect-then-sort idiom),
+// writes or deletes per-key entries of maps indexed by the iteration key,
+// or accumulates integers (integer addition is associative; float
+// accumulation is not and stays flagged). Everything else needs the keys
+// sorted first or a //lint:ignore detrange with a reason.
+package detrange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer flags order-sensitive iteration over maps.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrange",
+	Doc:  "flags range over maps whose body depends on iteration order; map order is randomized and breaks run-to-run reproducibility",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if orderInsensitive(pass, rs) {
+				return true
+			}
+			pass.Reportf(rs.For, "range over map %s is order-sensitive: map iteration order is randomized; sort the keys first", types.ExprString(rs.X))
+			return true
+		})
+	}
+	return nil
+}
+
+// orderInsensitive reports whether every statement of the range body is one
+// of the recognized commutative forms.
+func orderInsensitive(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	key := identObject(pass, rs.Key)
+	for _, stmt := range rs.Body.List {
+		if !insensitiveStmt(pass, stmt, key) {
+			return false
+		}
+	}
+	return true
+}
+
+// insensitiveStmt recognizes statements whose effect does not depend on
+// the order they run in across loop iterations.
+func insensitiveStmt(pass *analysis.Pass, stmt ast.Stmt, key types.Object) bool {
+	switch s := stmt.(type) {
+	case *ast.IncDecStmt:
+		return isIntegral(pass, s.X)
+	case *ast.ExprStmt:
+		// delete(m, k): per-key removal.
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		return ok && fn.Name == "delete" && usesObject(pass, call.Args[1], key)
+	case *ast.AssignStmt:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return false
+		}
+		switch s.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+			// n += v and friends commute only over integers.
+			return isIntegral(pass, s.Lhs[0])
+		case token.ASSIGN:
+			// x = append(x, ...): the collect-then-sort idiom.
+			if call, ok := s.Rhs[0].(*ast.CallExpr); ok {
+				if fn, ok := call.Fun.(*ast.Ident); ok && fn.Name == "append" && len(call.Args) > 0 &&
+					types.ExprString(call.Args[0]) == types.ExprString(s.Lhs[0]) {
+					return true
+				}
+			}
+			// m2[k] = v: a per-key write, independent across keys.
+			if idx, ok := s.Lhs[0].(*ast.IndexExpr); ok && usesObject(pass, idx.Index, key) {
+				return true
+			}
+			return false
+		}
+	}
+	return false
+}
+
+// identObject resolves the object behind the range key identifier
+// (nil for `_`, selectors, or absent keys).
+func identObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if o := pass.TypesInfo.Defs[id]; o != nil {
+		return o
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// usesObject reports whether e is exactly an identifier for obj.
+func usesObject(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	id, ok := e.(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == obj
+}
+
+// isIntegral reports whether e has an integer (or boolean) type, the types
+// whose accumulation commutes exactly.
+func isIntegral(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsInteger|types.IsBoolean) != 0
+}

@@ -1,0 +1,12 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/detrange"
+)
+
+func TestDetrange(t *testing.T) {
+	analysistest.Run(t, "testdata/fixture", detrange.Analyzer)
+}

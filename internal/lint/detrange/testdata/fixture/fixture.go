@@ -1,0 +1,78 @@
+// Package fixture exercises the detrange analyzer: order-sensitive map
+// ranges are flagged, the recognized commutative forms are not.
+package fixture
+
+import "sort"
+
+// orderSensitive folds values in iteration order: flagged.
+func orderSensitive(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `order-sensitive`
+		total = total*31 + v
+	}
+	return total
+}
+
+// floatAccumulate sums floats, which is not associative: flagged.
+func floatAccumulate(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `order-sensitive`
+		sum += v
+	}
+	return sum
+}
+
+// namedMapType ranges over a named map type: still flagged.
+type weights map[int]float64
+
+func namedMapType(w weights) []float64 {
+	var out []float64
+	for _, v := range w { // want `order-sensitive`
+		out = append(out, v*2)
+		_ = out
+	}
+	return out
+}
+
+// collectThenSort appends keys then sorts: allowed.
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// intCount accumulates integers, which commutes exactly: allowed.
+func intCount(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// perKeyWrite updates another map keyed by the iteration key: allowed.
+func perKeyWrite(src map[string]int, dst map[string]int) {
+	for k := range src {
+		dst[k] = len(k)
+	}
+}
+
+// clear deletes per key: allowed.
+func clear(m, drop map[string]int) {
+	for k := range drop {
+		delete(m, k)
+	}
+}
+
+// suppressed documents a deliberate exception: not reported.
+func suppressed(m map[string]float64) float64 {
+	var sum float64
+	//lint:ignore detrange fixture exercises the suppression path
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,73 @@
+// Package floatcmp flags == and != between floating-point (and complex)
+// operands. FFT-accelerated density solves accumulate rounding error by
+// design, so exact float equality is almost always a latent bug in this
+// codebase. Two idioms stay exempt: comparison against an exact constant
+// zero (the ubiquitous division/empty guard, where 0 is a sentinel rather
+// than a computed value) and the x != x NaN probe. Deliberate bit-exact
+// comparisons — the hot-path equivalence oracles — carry a
+// //lint:ignore floatcmp with the reason.
+package floatcmp
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer flags exact floating-point equality comparisons.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatcmp",
+	Doc:  "flags ==/!= between floats outside epsilon helpers; exact comparison of computed floats is a latent bug",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass, be.X) && !isFloat(pass, be.Y) {
+				return true
+			}
+			// x != x / x == x: the NaN probe, exact by definition.
+			if types.ExprString(be.X) == types.ExprString(be.Y) {
+				return true
+			}
+			// Comparison against a constant zero: a sentinel guard
+			// ("weight unset", "avoid dividing"), not a numeric test.
+			if isZeroConst(pass, be.X) || isZeroConst(pass, be.Y) {
+				return true
+			}
+			pass.Reportf(be.OpPos, "exact float comparison (%s): computed floats carry rounding error; compare with an epsilon or suppress with a reason", be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+func isZeroConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float, constant.Complex:
+		return constant.Sign(constant.Real(tv.Value)) == 0 &&
+			constant.Sign(constant.Imag(tv.Value)) == 0
+	}
+	return false
+}

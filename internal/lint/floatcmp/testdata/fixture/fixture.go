@@ -1,0 +1,48 @@
+// Package fixture exercises the floatcmp analyzer: exact float equality
+// is flagged; zero-sentinel guards, NaN probes and integer comparisons
+// are not.
+package fixture
+
+// exactEqual compares computed floats exactly: flagged.
+func exactEqual(a, b float64) bool {
+	return a == b // want `exact float comparison`
+}
+
+// exactNot compares computed floats exactly: flagged.
+func exactNot(a, b float32) bool {
+	return a != b // want `exact float comparison`
+}
+
+// mixedConst compares against a non-zero constant: flagged.
+func mixedConst(a float64) bool {
+	return a == 0.5 // want `exact float comparison`
+}
+
+// complexEqual compares complex values exactly: flagged.
+func complexEqual(a, b complex128) bool {
+	return a == b // want `exact float comparison`
+}
+
+// zeroGuard uses zero as a sentinel before dividing: allowed.
+func zeroGuard(w float64) float64 {
+	if w == 0 {
+		return 0
+	}
+	return 1 / w
+}
+
+// nanProbe is the canonical NaN test: allowed.
+func nanProbe(x float64) bool {
+	return x != x
+}
+
+// intCompare is exact by nature: allowed.
+func intCompare(a, b int) bool {
+	return a == b
+}
+
+// suppressed documents a deliberate bit-exact oracle: not reported.
+func suppressed(a, b float64) bool {
+	//lint:ignore floatcmp fixture exercises the suppression path
+	return a == b
+}

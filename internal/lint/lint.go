@@ -1,0 +1,201 @@
+// Package lint is the repo's static-analysis policy: which analyzers
+// exist, which packages each one polices, and how findings are collected,
+// suppressed and ordered. cmd/kvet is a thin driver over this package.
+//
+// Suppression: a finding is silenced by a comment
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the flagged line or the line directly above it. The reason is
+// mandatory — a bare ignore does not suppress — so every deliberate
+// exception documents itself.
+package lint
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/detrange"
+	"repro/internal/lint/floatcmp"
+	"repro/internal/lint/load"
+	"repro/internal/lint/nilsafe"
+	"repro/internal/lint/noclock"
+	"repro/internal/lint/parpolicy"
+)
+
+// Rule binds an analyzer to the set of packages it polices.
+type Rule struct {
+	Analyzer *analysis.Analyzer
+	// Only restricts the rule to the listed import paths when non-empty.
+	Only []string
+	// Exempt lists import paths the rule skips. Entries ending in "/..."
+	// match the path and everything below it.
+	Exempt []string
+}
+
+// AppliesTo reports whether the rule polices the package at importPath.
+func (r Rule) AppliesTo(importPath string) bool {
+	if len(r.Only) > 0 {
+		return matchAny(r.Only, importPath)
+	}
+	return !matchAny(r.Exempt, importPath)
+}
+
+func matchAny(pats []string, path string) bool {
+	for _, p := range pats {
+		if rest, ok := strings.CutSuffix(p, "/..."); ok {
+			if path == rest || strings.HasPrefix(path, rest+"/") {
+				return true
+			}
+		} else if path == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Rules returns the repo policy. Rationale per rule:
+//
+//   - detrange guards run-to-run reproducibility of the placement loop, so
+//     it polices algorithm packages; obsv/bench/cmds/examples only render
+//     output and order their own emissions.
+//   - noclock keeps wall-clock reads inside obsv (the sanctioned Stopwatch),
+//     bench and the binaries.
+//   - parpolicy funnels all fan-out through internal/par, the one place
+//     that decides worker counts; par itself is the implementation.
+//   - floatcmp applies everywhere: exact float equality is as wrong in a
+//     cmd as in the solver.
+//   - nilsafe enforces the obsv handle contract (every exported method on a
+//     nil handle is a no-op), so it runs only there.
+func Rules() []Rule {
+	reporting := []string{
+		"repro/internal/obsv",
+		"repro/internal/bench",
+		"repro/cmd/...",
+		"repro/examples/...",
+	}
+	return []Rule{
+		{Analyzer: detrange.Analyzer, Exempt: reporting},
+		{Analyzer: noclock.Analyzer, Exempt: reporting},
+		{Analyzer: parpolicy.Analyzer, Exempt: []string{"repro/internal/par"}},
+		{Analyzer: floatcmp.Analyzer},
+		{Analyzer: nilsafe.Analyzer, Only: []string{"repro/internal/obsv"}},
+	}
+}
+
+// Finding is one unsuppressed diagnostic with a resolved position.
+type Finding struct {
+	Analyzer string
+	File     string
+	Line     int
+	Col      int
+	Message  string
+}
+
+// Run applies the analyzers to one loaded package, filters suppressed
+// diagnostics, and returns the findings sorted by position.
+func Run(pkg *load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	sup := collectIgnores(pkg)
+	var out []Finding
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			pos := pkg.Fset.Position(d.Pos)
+			if sup.suppressed(pos.Filename, pos.Line, name) {
+				return
+			}
+			out = append(out, Finding{
+				Analyzer: name,
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Message:  d.Message,
+			})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// ignoreSet records, per file and line, the analyzer names ignored there.
+type ignoreSet map[string]map[int][]string
+
+// suppressed reports whether analyzer name is ignored at file:line, by a
+// directive on the line itself or the line directly above.
+func (s ignoreSet) suppressed(file string, line int, name string) bool {
+	lines := s[file]
+	for _, l := range []int{line, line - 1} {
+		for _, n := range lines[l] {
+			if n == name || n == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectIgnores scans every comment of the package for lint:ignore
+// directives. A directive needs an analyzer name (or comma-separated
+// names, or "all") followed by a non-empty reason.
+func collectIgnores(pkg *load.Package) ignoreSet {
+	s := make(ignoreSet)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "lint:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					continue // no reason given: directive is inert
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := s[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					s[pos.Filename] = lines
+				}
+				for _, n := range strings.Split(fields[0], ",") {
+					lines[pos.Line] = append(lines[pos.Line], n)
+				}
+			}
+		}
+	}
+	return s
+}
+
+// Analyzers returns every analyzer in the suite, for drivers that want to
+// run all of them regardless of package policy.
+func Analyzers() []*analysis.Analyzer {
+	rules := Rules()
+	as := make([]*analysis.Analyzer, len(rules))
+	for i, r := range rules {
+		as[i] = r.Analyzer
+	}
+	return as
+}

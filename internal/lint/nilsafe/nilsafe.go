@@ -1,0 +1,113 @@
+// Package nilsafe enforces the obsv handle contract: every exported
+// method with a pointer receiver must begin with a nil-receiver guard
+// (`if x == nil { ... }`), because instrumented code calls handles
+// unconditionally and a nil handle is the documented "observability off"
+// state. A method that merely delegates to another method of the same
+// receiver (e.g. Inc calling Add) is accepted — the guard lives in the
+// callee.
+package nilsafe
+
+import (
+	"go/ast"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer verifies nil-receiver guards on exported pointer-receiver
+// methods.
+var Analyzer = &analysis.Analyzer{
+	Name: "nilsafe",
+	Doc:  "verifies every exported pointer-receiver method starts with a nil-receiver guard (the obsv nil-handle no-op contract)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || !fd.Name.IsExported() || fd.Body == nil {
+				continue
+			}
+			recv := fd.Recv.List[0]
+			if _, ok := recv.Type.(*ast.StarExpr); !ok {
+				continue // value receiver: nil cannot reach it
+			}
+			if len(recv.Names) == 0 || recv.Names[0].Name == "_" {
+				continue // receiver unused: trivially nil-safe
+			}
+			if len(fd.Body.List) == 0 {
+				continue
+			}
+			name := recv.Names[0].Name
+			if startsWithNilGuard(fd.Body.List[0], name) || delegates(fd.Body.List[0], name) {
+				continue
+			}
+			pass.Reportf(fd.Name.Pos(), "exported method (%s) %s lacks a leading nil-receiver guard; handles must be no-ops when nil", typeName(recv.Type), fd.Name.Name)
+		}
+	}
+	return nil
+}
+
+// startsWithNilGuard matches `if recv == nil { ... }` as the first
+// statement, including conditions that or-combine further checks
+// (`recv == nil || n < 0`).
+func startsWithNilGuard(stmt ast.Stmt, recv string) bool {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	return condHasNilCheck(ifs.Cond, recv)
+}
+
+func condHasNilCheck(e ast.Expr, recv string) bool {
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		switch e.Op.String() {
+		case "||":
+			return condHasNilCheck(e.X, recv) || condHasNilCheck(e.Y, recv)
+		case "==":
+			return isIdent(e.X, recv) && isIdent(e.Y, "nil") ||
+				isIdent(e.X, "nil") && isIdent(e.Y, recv)
+		}
+	case *ast.ParenExpr:
+		return condHasNilCheck(e.X, recv)
+	}
+	return false
+}
+
+// delegates matches a body consisting solely of a call (or return of a
+// call) on the receiver, which inherits the callee's guard.
+func delegates(stmt ast.Stmt, recv string) bool {
+	var call ast.Expr
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		call = s.X
+	case *ast.ReturnStmt:
+		if len(s.Results) != 1 {
+			return false
+		}
+		call = s.Results[0]
+	default:
+		return false
+	}
+	ce, ok := call.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ce.Fun.(*ast.SelectorExpr)
+	return ok && isIdent(sel.X, recv)
+}
+
+func isIdent(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+func typeName(e ast.Expr) string {
+	if st, ok := e.(*ast.StarExpr); ok {
+		if id, ok := st.X.(*ast.Ident); ok {
+			return "*" + id.Name
+		}
+	}
+	return "?"
+}

@@ -1,0 +1,12 @@
+package nilsafe_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/nilsafe"
+)
+
+func TestNilsafe(t *testing.T) {
+	analysistest.Run(t, "testdata/fixture", nilsafe.Analyzer)
+}

@@ -1,0 +1,69 @@
+// Package fixture exercises the nilsafe analyzer: exported
+// pointer-receiver methods without a leading nil guard are flagged;
+// guarded methods, delegating methods, value receivers and unexported
+// methods are not.
+package fixture
+
+// Handle mimics an obsv metric handle.
+type Handle struct {
+	n int64
+}
+
+// Add is properly guarded: allowed.
+func (h *Handle) Add(n int64) {
+	if h == nil {
+		return
+	}
+	h.n += n
+}
+
+// AddGuardOr combines the nil check with a validity check: allowed.
+func (h *Handle) AddGuardOr(n int64) {
+	if h == nil || n < 0 {
+		return
+	}
+	h.n += n
+}
+
+// Inc delegates to a guarded method: allowed.
+func (h *Handle) Inc() { h.Add(1) }
+
+// Value delegates via return: allowed.
+func (h *Handle) Value() int64 { return h.load() }
+
+// Unguarded dereferences a possibly-nil receiver: flagged.
+func (h *Handle) Unguarded() int64 { // want `nil-receiver guard`
+	return h.n
+}
+
+// WrongOrder checks something else first: flagged.
+func (h *Handle) WrongOrder(n int64) { // want `nil-receiver guard`
+	if n < 0 {
+		return
+	}
+	if h == nil {
+		return
+	}
+	h.n += n
+}
+
+// load is unexported: internal callers own the guard discipline.
+func (h *Handle) load() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// View has a value receiver, which a nil pointer cannot reach: allowed.
+type View struct{ v int64 }
+
+// Get has a value receiver: allowed.
+func (v View) Get() int64 { return v.v }
+
+// Suppressed documents a deliberate exception: not reported.
+//
+//lint:ignore nilsafe fixture exercises the suppression path
+func (h *Handle) Suppressed() int64 {
+	return h.n
+}

@@ -1,0 +1,77 @@
+// Package noclock flags direct wall-clock reads and global-source
+// math/rand calls in the algorithm packages. Clock access belongs to obsv
+// (Stopwatch, span timers), bench and the command binaries; randomness in
+// algorithms must flow through an explicitly seeded *rand.Rand so a seed
+// fully determines a run. rand.New(rand.NewSource(seed)) is therefore
+// fine; rand.Intn and friends (which consult the process-global source)
+// are not.
+package noclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer flags time.Now-style clock reads and global math/rand usage.
+var Analyzer = &analysis.Analyzer{
+	Name: "noclock",
+	Doc:  "flags direct clock reads (time.Now etc.) and global-source math/rand calls in algorithm packages; use obsv.Stopwatch and seeded rand.New",
+	Run:  run,
+}
+
+// clockFuncs are the package-time functions that read the wall clock or
+// schedule against it.
+var clockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true, "Sleep": true,
+}
+
+// globalRandFuncs are the math/rand (and v2) package-level functions backed
+// by the shared global source.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Int32": true, "Int32N": true,
+	"Int64": true, "Int64N": true, "IntN": true, "N": true,
+	"Uint32": true, "Uint64": true, "Uint32N": true, "Uint64N": true,
+	"UintN": true, "Uint": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true,
+	"Seed": true, "Read": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			fn, isFunc := obj.(*types.Func)
+			if !isFunc {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods (e.g. on a seeded *rand.Rand) are fine
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if clockFuncs[obj.Name()] {
+					pass.Reportf(id.Pos(), "direct clock read time.%s in an algorithm package; route timing through obsv (Stopwatch, spans)", obj.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if globalRandFuncs[obj.Name()] {
+					pass.Reportf(id.Pos(), "global-source rand.%s is seeded per process, not per run; use an explicit rand.New(rand.NewSource(seed))", obj.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package noclock_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/noclock"
+)
+
+func TestNoclock(t *testing.T) {
+	analysistest.Run(t, "testdata/fixture", noclock.Analyzer)
+}

@@ -1,0 +1,46 @@
+// Package fixture exercises the noclock analyzer: direct clock reads and
+// global-source rand calls are flagged, seeded sources and plain
+// time.Duration plumbing are not.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// stamped reads the wall clock directly: flagged twice.
+func stamped() time.Duration {
+	start := time.Now() // want `clock read`
+	work()
+	return time.Since(start) // want `clock read`
+}
+
+// sleepy schedules against the clock: flagged.
+func sleepy() {
+	time.Sleep(time.Millisecond) // want `clock read`
+}
+
+// globalRand consults the process-global source: flagged twice.
+func globalRand() float64 {
+	_ = rand.Intn(10)     // want `global-source`
+	return rand.Float64() // want `global-source`
+}
+
+// seededRand fully determines itself from the seed: allowed.
+func seededRand(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// plumbing passes durations around without reading the clock: allowed.
+func plumbing(d time.Duration) time.Duration {
+	return d.Round(time.Millisecond)
+}
+
+// suppressed documents a deliberate exception: not reported.
+func suppressed() time.Time {
+	//lint:ignore noclock fixture exercises the suppression path
+	return time.Now()
+}
+
+func work() {}

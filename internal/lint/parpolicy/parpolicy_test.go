@@ -1,0 +1,12 @@
+package parpolicy_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/parpolicy"
+)
+
+func TestParpolicy(t *testing.T) {
+	analysistest.Run(t, "testdata/fixture", parpolicy.Analyzer)
+}

@@ -1,0 +1,38 @@
+// Package fixture exercises the parpolicy analyzer: raw goroutines and
+// WaitGroup fan-out are flagged, other sync primitives are not.
+package fixture
+
+import "sync"
+
+// rawGo spawns an untracked goroutine: flagged.
+func rawGo(f func()) {
+	go f() // want `raw go statement`
+}
+
+// handRolled builds its own fork-join: flagged for the WaitGroup and for
+// the go statement.
+func handRolled(fns []func()) {
+	var wg sync.WaitGroup // want `WaitGroup`
+	for _, f := range fns {
+		wg.Add(1)
+		go func(f func()) { // want `raw go statement`
+			defer wg.Done()
+			f()
+		}(f)
+	}
+	wg.Wait()
+}
+
+// locked uses a plain mutex, which is not fan-out: allowed.
+func locked(mu *sync.Mutex, f func()) {
+	mu.Lock()
+	defer mu.Unlock()
+	f()
+}
+
+// suppressed documents a deliberate exception (e.g. an HTTP server
+// goroutine in a command): not reported.
+func suppressed(f func()) {
+	//lint:ignore parpolicy fixture exercises the suppression path
+	go f()
+}

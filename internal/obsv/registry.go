@@ -325,40 +325,50 @@ type histJSON struct {
 // WriteJSON encodes the registry as a single JSON object. Safe on nil
 // (writes {}).
 func (r *Registry) WriteJSON(w io.Writer) error {
-	out := struct {
-		Counters   map[string]int64    `json:"counters"`
-		Gauges     map[string]float64  `json:"gauges"`
-		Histograms map[string]histJSON `json:"histograms"`
-	}{
+	if r == nil {
+		return json.NewEncoder(w).Encode(newRegistryJSON())
+	}
+	out := newRegistryJSON()
+	r.mu.Lock()
+	for name, c := range r.counters {
+		out.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		uppers, cum, sum, total := h.snapshot()
+		buckets := make(map[string]int64, len(uppers)+1)
+		for i, up := range uppers {
+			buckets[formatFloat(up)] = cum[i]
+		}
+		buckets["+Inf"] = total
+		out.Histograms[name] = histJSON{Count: total, Sum: sum, Buckets: buckets}
+	}
+	r.mu.Unlock()
+	return json.NewEncoder(w).Encode(out)
+}
+
+// registryJSON is the WriteJSON document shape.
+type registryJSON struct {
+	Counters   map[string]int64    `json:"counters"`
+	Gauges     map[string]float64  `json:"gauges"`
+	Histograms map[string]histJSON `json:"histograms"`
+}
+
+func newRegistryJSON() registryJSON {
+	return registryJSON{
 		Counters:   map[string]int64{},
 		Gauges:     map[string]float64{},
 		Histograms: map[string]histJSON{},
 	}
-	if r != nil {
-		r.mu.Lock()
-		for name, c := range r.counters {
-			out.Counters[name] = c.Value()
-		}
-		for name, g := range r.gauges {
-			out.Gauges[name] = g.Value()
-		}
-		for name, h := range r.histograms {
-			uppers, cum, sum, total := h.snapshot()
-			buckets := make(map[string]int64, len(uppers)+1)
-			for i, up := range uppers {
-				buckets[formatFloat(up)] = cum[i]
-			}
-			buckets["+Inf"] = total
-			out.Histograms[name] = histJSON{Count: total, Sum: sum, Buckets: buckets}
-		}
-		r.mu.Unlock()
-	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(out)
 }
 
 // ServeHTTP serves the Prometheus text encoding, making a *Registry
-// mountable at /metrics on any mux.
+// mountable at /metrics on any mux. Safe on nil (serves the empty
+// encoding).
+//
+//lint:ignore nilsafe headers are set unconditionally, then the body delegates to the nil-safe WritePrometheus
 func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_ = r.WritePrometheus(w)

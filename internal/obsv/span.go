@@ -117,6 +117,9 @@ func (s *Spans) Snapshot() map[string]PhaseStat {
 // WriteTable renders the aggregates as an aligned text table sorted by
 // descending total time. Safe on nil (writes nothing).
 func (s *Spans) WriteTable(w io.Writer) {
+	if s == nil {
+		return
+	}
 	snap := s.Snapshot()
 	if len(snap) == 0 {
 		return

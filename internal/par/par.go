@@ -34,6 +34,20 @@ func Workers(n int) int {
 	return w
 }
 
+// Pair runs f and g concurrently and waits for both: the two-task
+// fork-join used when exactly two independent jobs of similar cost exist
+// (the x/y axis solves). Keeping it here, next to Run, means kvet's
+// parpolicy check can forbid raw go statements everywhere else.
+func Pair(f, g func()) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		g()
+	}()
+	f()
+	<-done
+}
+
 // Run partitions [0, n) into at most workers contiguous chunks — worker k
 // always receives chunk k, so callers that gather per-worker output can
 // merge it in a deterministic order — runs fn on each concurrently, and

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/density"
 	"repro/internal/fft"
 	"repro/internal/geom"
@@ -357,30 +358,35 @@ func (p *Placer) Initialize() error {
 func (p *Placer) Step() (IterStats, error) {
 	nl := p.nl
 	cfg := &p.cfg
-	stepStart := time.Now()
+	stepStart := obsv.StartTimer()
 	var tWeight, tGather, tField, tBuild time.Duration
 	if cfg.BeforeTransform != nil {
 		cfg.BeforeTransform(p.iter, p)
-		tWeight = time.Since(stepStart)
+		tWeight = stepStart.Elapsed()
 	}
 
 	// Density of the current placement (with any injected extra demand).
-	mark := time.Now()
+	mark := obsv.StartTimer()
 	if cfg.ExtraDemand != nil {
 		p.grid.SetExtra(cfg.ExtraDemand(p.grid))
 	}
 	p.grid.Accumulate(nl)
-	tGather = time.Since(mark)
+	tGather = mark.Elapsed()
+	check.DensityBalanced("place/step grid", p.grid, 1e-6)
 
-	mark = time.Now()
+	mark = obsv.StartTimer()
 	field := density.ComputeField(p.grid, cfg.FieldMethod)
-	tField = time.Since(mark)
+	tField = mark.Elapsed()
+	check.Finite("place/step field FX", field.FX)
+	check.Finite("place/step field FY", field.FY)
 
 	// Assemble the (possibly re-linearized) quadratic system; the force
 	// normalization depends on its stiffness.
-	mark = time.Now()
+	mark = obsv.StartTimer()
 	sys := p.system()
-	tBuild = time.Since(mark)
+	tBuild = mark.Elapsed()
+	check.Symmetric("place/step C", sys.C, 1e-8)
+	check.SPDHint("place/step C", sys.C, 1e-8)
 
 	// Force increment normalization (§4.1): the strongest field force is
 	// scaled to the pull of a net of length K·(W+H). Two refinements over
@@ -396,9 +402,9 @@ func (p *Placer) Step() (IterStats, error) {
 	// the density has flattened). Attenuate by the coarse-grid overflow —
 	// the fraction of cell area still genuinely clumped — so kicks decay
 	// to near zero as the distribution evens out.
-	mark = time.Now()
+	mark = obsv.StartTimer()
 	p.coarse.Accumulate(nl)
-	tGather += time.Since(mark)
+	tGather += mark.Elapsed()
 	atten := math.Min(1, p.coarse.Overflow()/0.2)
 	if atten < 0.02 {
 		atten = 0.02
@@ -493,9 +499,10 @@ func (p *Placer) Step() (IterStats, error) {
 		c.Pos = out.ClampCenter(c.Pos, math.Min(c.W, out.W()), math.Min(c.H, out.H()))
 	}
 
-	mark = time.Now()
+	check.CellsFinite("place/step positions", nl)
+	mark = obsv.StartTimer()
 	p.grid.Accumulate(nl) // refresh density for stats/stopping
-	tGather += time.Since(mark)
+	tGather += mark.Elapsed()
 	stats := IterStats{
 		Iter:        p.iter,
 		HPWL:        nl.HPWL(),
@@ -513,7 +520,7 @@ func (p *Placer) Step() (IterStats, error) {
 		TSolveX:     res.X.Elapsed,
 		TSolveY:     res.Y.Elapsed,
 	}
-	stats.TStep = time.Since(stepStart)
+	stats.TStep = stepStart.Elapsed()
 	p.iter++
 	if sp := cfg.Spans; sp != nil {
 		sp.Record("place/weight", stats.TWeight)
@@ -613,7 +620,7 @@ func (p *Placer) Done(last IterStats) bool {
 // Run executes Initialize and iterates Step until the stopping criterion
 // or MaxIter. Solver non-convergence is tolerated; structural errors abort.
 func (p *Placer) Run() (Result, error) {
-	start := time.Now()
+	start := obsv.StartTimer()
 	var res Result
 	if err := p.Initialize(); err != nil {
 		return res, fmt.Errorf("place: initial solve: %w", err)
@@ -671,7 +678,7 @@ func (p *Placer) Run() (Result, error) {
 	if res.StopReason == "" {
 		res.StopReason = "max-iter"
 	}
-	res.Runtime = time.Since(start)
+	res.Runtime = start.Elapsed()
 	return res, nil
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/netlist"
+	"repro/internal/par"
 	"repro/internal/sparse"
 )
 
@@ -295,13 +296,10 @@ func (s *System) Solve(forces []geom.Point, opt sparse.CGOptions) (SolveResult, 
 // solveBoth runs the two independent axis solves concurrently; C is shared
 // read-only.
 func solveBoth(c *sparse.CSR, x, bx, y, by []float64, opt sparse.CGOptions, out *SolveResult) (errX, errY error) {
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		out.Y, errY = sparse.SolveCG(c, y, by, opt)
-	}()
-	out.X, errX = sparse.SolveCG(c, x, bx, opt)
-	<-done
+	par.Pair(
+		func() { out.X, errX = sparse.SolveCG(c, x, bx, opt) },
+		func() { out.Y, errY = sparse.SolveCG(c, y, by, opt) },
+	)
 	return errX, errY
 }
 

@@ -122,9 +122,9 @@ func SolveCG(m *CSR, x, b []float64, opt CGOptions) (res CGResult, err error) {
 	if chol != nil {
 		eff = IC0
 	}
-	start := time.Now()
+	start := obsv.StartTimer()
 	defer func() {
-		res.Elapsed = time.Since(start)
+		res.Elapsed = start.Elapsed()
 		mt := &metrics[eff]
 		mt.solves.Inc()
 		mt.iterations.Add(int64(res.Iterations))

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/gordian"
 	"repro/internal/netlist"
+	"repro/internal/obsv"
 	"repro/internal/timing"
 )
 
@@ -38,7 +39,7 @@ func Place(nl *netlist.Netlist, cfg Config) (Result, error) {
 	if cfg.Alpha <= 0 {
 		cfg.Alpha = 4
 	}
-	start := time.Now()
+	start := obsv.StartTimer()
 
 	// Pass 1: unweighted analytical placement.
 	if _, err := gordian.Place(nl, cfg.Gordian); err != nil {
@@ -76,6 +77,6 @@ func Place(nl *netlist.Netlist, cfg Config) (Result, error) {
 		Before:  before,
 		After:   after,
 		HPWL:    nl.HPWL(),
-		Runtime: time.Since(start),
+		Runtime: start.Elapsed(),
 	}, nil
 }
