@@ -6,6 +6,11 @@
 // With -gen cells:nets:rows a synthetic circuit is generated instead of
 // reading -in.
 //
+// Interruption (kraftwerk engine): -timeout bounds the run's wall time and
+// Ctrl-C / SIGTERM stops it early; either way the best placement so far is
+// kept and written. -checkpoint FILE snapshots the interrupted iteration
+// state, and -resume FILE continues a snapshotted run bit-compatibly.
+//
 // Observability:
 //
 //	-trace run.jsonl     stream one JSON line per placement transformation
@@ -16,16 +21,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/anneal"
@@ -59,6 +67,9 @@ func main() {
 		plot    = flag.Bool("plot", false, "print an ASCII plot of the result")
 		maxIter = flag.Int("maxiter", 0, "iteration cap (0 = default)")
 		cold    = flag.Bool("cold", false, "disable the hot-path engine (iteration-reuse caches and CG warm start); the A/B baseline for -metrics comparisons")
+		timeout = flag.Duration("timeout", 0, "wall-time budget for the kraftwerk run (0 = none); on expiry the best placement so far is kept")
+		ckpt    = flag.String("checkpoint", "", "write the iteration state here if the kraftwerk run is interrupted (-timeout or Ctrl-C)")
+		resume  = flag.String("resume", "", "resume a kraftwerk run from a -checkpoint snapshot instead of starting fresh")
 
 		tracePath = flag.String("trace", "", "write a JSONL run trace (one record per transformation)")
 		metrics   = flag.Bool("metrics", false, "dump the metrics registry as Prometheus text on exit")
@@ -136,7 +147,7 @@ func main() {
 				res.Before*1e9, res.After*1e9, res.LowerBound*1e9, 100*res.Exploitation())
 			timing.WriteReport(os.Stdout, nl, params, timing.NewAnalyzer(nl, params).Analyze())
 		} else {
-			res, err := place.Global(nl, cfg)
+			res, err := runKraftwerk(nl, cfg, *timeout, *resume, *ckpt)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -213,6 +224,61 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+}
+
+// runKraftwerk runs (or resumes) global placement under a wall-time
+// budget and Ctrl-C/SIGTERM cancellation. An interrupted run keeps the
+// best placement so far in nl; if ckptPath is set its iteration state is
+// also snapshotted for a later -resume.
+func runKraftwerk(nl *netlist.Netlist, cfg place.Config, timeout time.Duration, resumePath, ckptPath string) (place.Result, error) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	var p *place.Placer
+	if resumePath != "" {
+		f, err := os.Open(resumePath)
+		if err != nil {
+			return place.Result{}, err
+		}
+		ck, err := place.DecodeCheckpoint(f)
+		f.Close()
+		if err != nil {
+			return place.Result{}, fmt.Errorf("%s: %v", resumePath, err)
+		}
+		if p, err = place.Resume(nl, cfg, ck); err != nil {
+			return place.Result{}, fmt.Errorf("%s: %v", resumePath, err)
+		}
+		fmt.Printf("resuming from %s at iteration %d\n", resumePath, ck.Iter)
+	} else {
+		p = place.New(nl, cfg)
+	}
+
+	res, err := p.Run(ctx)
+	if err != nil {
+		return res, err
+	}
+	interrupted := res.StopReason == place.StopCancelled || res.StopReason == place.StopDeadline
+	if interrupted && ckptPath != "" {
+		f, err := os.Create(ckptPath)
+		if err != nil {
+			return res, err
+		}
+		if err := p.Checkpoint().Encode(f); err != nil {
+			f.Close()
+			return res, err
+		}
+		if err := f.Close(); err != nil {
+			return res, err
+		}
+		fmt.Printf("interrupted (%s): checkpointed iteration %d to %s; continue with -resume %s\n",
+			res.StopReason, res.Iterations, ckptPath, ckptPath)
+	}
+	return res, nil
 }
 
 // printRunSummary reports how and why a Kraftwerk run ended, with the

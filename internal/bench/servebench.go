@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/netgen"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/serve"
+)
+
+// ServeRun is one pass of the serving experiment: the same job batch
+// pushed through a serve.Server with a given worker count.
+type ServeRun struct {
+	Workers int `json:"workers"`
+	// WallSec is submit-first to last-job-terminal.
+	WallSec float64 `json:"wall_seconds"`
+	// Throughput is completed jobs per second of wall time.
+	Throughput float64 `json:"jobs_per_second"`
+	// Latency is submit-to-terminal per job, so it includes queue wait —
+	// the number a service client actually experiences.
+	LatMeanSec float64 `json:"latency_mean_seconds"`
+	LatP50Sec  float64 `json:"latency_p50_seconds"`
+	LatMaxSec  float64 `json:"latency_max_seconds"`
+	// RunMeanSec is started-to-terminal per job: pure placement time,
+	// which exposes per-job slowdown from core contention.
+	RunMeanSec float64 `json:"run_mean_seconds"`
+	Failed     int     `json:"failed"`
+}
+
+// ServeBench is the BENCH_serve.json document: throughput and latency of
+// N identical placement jobs through the serving layer, sequential
+// (1 worker) versus concurrent (GOMAXPROCS workers).
+type ServeBench struct {
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Jobs       int      `json:"jobs"`
+	Cells      int      `json:"cells"`
+	MaxIter    int      `json:"max_iter"`
+	Seed       int64    `json:"seed"`
+	Sequential ServeRun `json:"sequential"`
+	Concurrent ServeRun `json:"concurrent"`
+}
+
+// RunServeBench submits the same batch of `jobs` synthetic circuits to a
+// placement service twice — one worker, then `workers` workers
+// (0 = GOMAXPROCS) — and measures batch wall time and per-job latency.
+// Each job is an independent design (distinct seed), as a real job mix
+// would be.
+func RunServeBench(opts Options, jobs, cells, maxIter, workers int) ServeBench {
+	opts.setDefaults()
+	if jobs <= 0 {
+		jobs = 8
+	}
+	if cells <= 0 {
+		cells = 2000
+	}
+	if maxIter <= 0 {
+		maxIter = 40
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	batch := make([]*netlist.Netlist, jobs)
+	for i := range batch {
+		batch[i] = netgen.Generate(netgen.Config{
+			Name:  fmt.Sprintf("serve-%d", i),
+			Cells: cells,
+			Nets:  cells + cells/3,
+			Rows:  rowsFor(cells),
+			Seed:  opts.Seed + int64(i),
+		})
+	}
+	b := ServeBench{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Jobs:       jobs, Cells: cells, MaxIter: maxIter, Seed: opts.Seed,
+	}
+	b.Sequential = runServe(&opts, batch, maxIter, 1)
+	opts.logf("serve %d jobs x %d cells, 1 worker:  %6.2fs (%.2f jobs/s)\n",
+		jobs, cells, b.Sequential.WallSec, b.Sequential.Throughput)
+	b.Concurrent = runServe(&opts, batch, maxIter, workers)
+	opts.logf("serve %d jobs x %d cells, %d workers: %6.2fs (%.2f jobs/s)\n",
+		jobs, cells, workers, b.Concurrent.WallSec, b.Concurrent.Throughput)
+	return b
+}
+
+func runServe(o *Options, batch []*netlist.Netlist, maxIter, workers int) ServeRun {
+	srv := serve.New(serve.Config{
+		Workers:    workers,
+		QueueDepth: len(batch),
+		Now:        time.Now,
+	})
+	start := time.Now()
+	handles := make([]*serve.Job, 0, len(batch))
+	for _, nl := range batch {
+		j, err := srv.Submit(serve.JobRequest{
+			Netlist: nl.Clone(),
+			Config:  place.Config{MaxIter: maxIter},
+		})
+		if err != nil {
+			o.logf("serve submit: %v\n", err)
+			continue
+		}
+		handles = append(handles, j)
+	}
+	for _, j := range handles {
+		for !j.Done() {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	wall := time.Since(start)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		o.logf("serve shutdown: %v\n", err)
+	}
+
+	r := ServeRun{Workers: workers, WallSec: wall.Seconds()}
+	lat := make([]float64, 0, len(handles))
+	var latSum, runSum float64
+	for _, j := range handles {
+		st := j.Status()
+		if st.State == serve.StateFailed {
+			r.Failed++
+			continue
+		}
+		l := st.FinishedAt.Sub(st.SubmittedAt).Seconds()
+		lat = append(lat, l)
+		latSum += l
+		runSum += st.FinishedAt.Sub(st.StartedAt).Seconds()
+	}
+	if len(lat) > 0 {
+		sort.Float64s(lat)
+		r.Throughput = float64(len(lat)) / wall.Seconds()
+		r.LatMeanSec = latSum / float64(len(lat))
+		r.LatP50Sec = lat[len(lat)/2]
+		r.LatMaxSec = lat[len(lat)-1]
+		r.RunMeanSec = runSum / float64(len(lat))
+	}
+	return r
+}
+
+// WriteServeBench writes the BENCH_serve.json document.
+func WriteServeBench(w io.Writer, b ServeBench) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// PrintServeBench renders the sequential/concurrent comparison.
+func PrintServeBench(w io.Writer, b ServeBench) {
+	fmt.Fprintf(w, "E12: placement service throughput (%d jobs x %d cells, max %d iters, gomaxprocs %d, seed %d)\n",
+		b.Jobs, b.Cells, b.MaxIter, b.GOMAXPROCS, b.Seed)
+	fmt.Fprintf(w, "%-12s | %8s %8s | %9s %9s %9s | %9s\n",
+		"mode", "wall[s]", "jobs/s", "lat-mean", "lat-p50", "lat-max", "run-mean")
+	row := func(name string, r ServeRun) {
+		fmt.Fprintf(w, "%-12s | %8.2f %8.2f | %8.2fs %8.2fs %8.2fs | %8.2fs\n",
+			fmt.Sprintf("%s (w=%d)", name, r.Workers), r.WallSec, r.Throughput,
+			r.LatMeanSec, r.LatP50Sec, r.LatMaxSec, r.RunMeanSec)
+	}
+	row("sequential", b.Sequential)
+	row("concurrent", b.Concurrent)
+	if b.Concurrent.WallSec > 0 {
+		fmt.Fprintf(w, "%-12s | %8.2fx\n", "speedup", b.Sequential.WallSec/b.Concurrent.WallSec)
+	}
+}

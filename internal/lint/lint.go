@@ -63,7 +63,10 @@ func matchAny(pats []string, path string) bool {
 //   - noclock keeps wall-clock reads inside obsv (the sanctioned Stopwatch),
 //     bench and the binaries.
 //   - parpolicy funnels all fan-out through internal/par, the one place
-//     that decides worker counts; par itself is the implementation.
+//     that decides worker counts; par itself is the implementation. The
+//     serving layer (internal/serve, cmd/kserved) is deliberately NOT
+//     exempt: its worker pool is par.Pool, and the daemon's one raw
+//     accept-loop goroutine carries a reasoned //lint:ignore.
 //   - floatcmp applies everywhere: exact float equality is as wrong in a
 //     cmd as in the solver.
 //   - nilsafe enforces the obsv handle contract (every exported method on a

@@ -1,0 +1,106 @@
+package par
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsAllTasks(t *testing.T) {
+	p := NewPool(4, 64)
+	var n atomic.Int64
+	for i := 0; i < 64; i++ {
+		if err := p.Submit(func() { n.Add(1) }); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+	p.Close()
+	if got := n.Load(); got != 64 {
+		t.Fatalf("ran %d tasks, want 64", got)
+	}
+}
+
+func TestPoolBackpressure(t *testing.T) {
+	p := NewPool(1, 2)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	// Occupy the single worker — wait until it has dequeued the blocking
+	// task, so the queue is empty — then fill the queue.
+	if err := p.Submit(func() { close(started); <-block }); err != nil {
+		t.Fatalf("occupy worker: %v", err)
+	}
+	<-started
+	filled := 0
+	for i := 0; i < 10; i++ {
+		if err := p.Submit(func() { <-block }); err != nil {
+			if !errors.Is(err, ErrPoolFull) {
+				t.Fatalf("Submit: got %v, want ErrPoolFull", err)
+			}
+			break
+		}
+		filled++
+	}
+	if filled != 2 {
+		t.Fatalf("queue accepted %d tasks, want 2", filled)
+	}
+	if got := p.Queued(); got != 2 {
+		t.Fatalf("Queued() = %d, want 2", got)
+	}
+	close(block)
+	p.Close()
+}
+
+func TestPoolPanicIsolation(t *testing.T) {
+	p := NewPool(1, 8)
+	var recovered atomic.Value
+	p.OnPanic = func(r any) { recovered.Store(r) }
+	var ok atomic.Bool
+	if err := p.Submit(func() { panic("job exploded") }); err != nil {
+		t.Fatal(err)
+	}
+	// The same single worker must survive to run the next task.
+	if err := p.Submit(func() { ok.Store(true) }); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	if !ok.Load() {
+		t.Fatal("worker died after a panicking task")
+	}
+	if got, _ := recovered.Load().(string); got != "job exploded" {
+		t.Fatalf("OnPanic got %v, want \"job exploded\"", recovered.Load())
+	}
+}
+
+func TestPoolSubmitAfterClose(t *testing.T) {
+	p := NewPool(2, 2)
+	p.Close()
+	p.Close() // idempotent
+	if err := p.Submit(func() {}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Submit after Close: got %v, want ErrPoolClosed", err)
+	}
+}
+
+func TestPoolConcurrentSubmitters(t *testing.T) {
+	p := NewPool(4, 1024)
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				for {
+					if err := p.Submit(func() { n.Add(1) }); err == nil {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	p.Close()
+	if got := n.Load(); got != 800 {
+		t.Fatalf("ran %d tasks, want 800", got)
+	}
+}

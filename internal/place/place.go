@@ -8,6 +8,8 @@
 package place
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -198,13 +200,47 @@ func (p *PhaseTotals) add(s IterStats) {
 	p.Step += s.TStep
 }
 
+// Stop reasons reported in Result.StopReason. The first three end a run on
+// the algorithm's own terms; the last two are externally imposed. Because
+// any prefix of the iteration is a valid placement (§4's stopping criterion
+// is a quality threshold, not a structural requirement), a cancelled or
+// deadline-expired run still leaves the best placement reached so far in
+// the netlist and returns a nil error.
+const (
+	// StopCriterion is the paper's §4.2 empty-square rule.
+	StopCriterion = "criterion"
+	// StopStagnation means no coarse-overflow progress for a window; the
+	// best placement seen is restored.
+	StopStagnation = "stagnation"
+	// StopMaxIter means Config.MaxIter transformations ran.
+	StopMaxIter = "max-iter"
+	// StopCancelled means the run's context was cancelled between
+	// transformations.
+	StopCancelled = "cancelled"
+	// StopDeadline means the run's context deadline expired between
+	// transformations.
+	StopDeadline = "deadline"
+)
+
+// stopReasonFor maps a context error to its stop reason.
+func stopReasonFor(err error) string {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return StopDeadline
+	}
+	return StopCancelled
+}
+
 // Result summarizes a full run.
 type Result struct {
+	// Iterations is the total number of placement transformations the
+	// placer has performed, including any performed before a checkpoint
+	// when the placer was reconstructed by Resume.
 	Iterations int
 	Converged  bool
-	// StopReason is "criterion" (the paper's empty-square rule),
-	// "stagnation" (no coarse-overflow progress for a window), or
-	// "max-iter".
+	// StopReason is one of the Stop* constants: "criterion" (the paper's
+	// empty-square rule), "stagnation" (no coarse-overflow progress for a
+	// window), "max-iter", or the externally imposed "cancelled" /
+	// "deadline".
 	StopReason string
 	HPWL       float64
 	Overflow   float64
@@ -232,6 +268,28 @@ type Placer struct {
 	// warmDX/warmDY hold the previous transformation's displacement
 	// response, the CG starting guess of the next one.
 	warmDX, warmDY []float64
+
+	// rs is the Run loop's progress state. It lives on the Placer (rather
+	// than in Run's frame) so Checkpoint can capture it and Resume can
+	// restore it: a resumed run must make the same stop/restore decisions
+	// an uninterrupted run would have made.
+	rs runState
+}
+
+// runState is the mutable state of the Run loop between transformations.
+type runState struct {
+	// started is set once Initialize has run, so a resumed or re-entered
+	// Run continues instead of re-gathering all cells at the center.
+	started bool
+	// doneStreak counts consecutive iterations meeting the §4.2 criterion
+	// (two are required, because the empty-square measure dips transiently
+	// while the placement sloshes).
+	doneStreak int
+	// bestOvf/bestIter/bestSnap track the best (lowest-overflow) placement
+	// seen, restored when the run stops on stagnation.
+	bestOvf  float64
+	bestIter int
+	bestSnap netlist.Placement
 }
 
 // placeMetrics caches the registry handles resolved once in New; all are
@@ -338,7 +396,9 @@ func (p *Placer) Initialize() error {
 		p.forces[i] = geom.Point{}
 	}
 	p.warmDX, p.warmDY = nil, nil
+	p.rs = runState{started: true, bestOvf: math.Inf(1)}
 	if p.cfg.KeepPlacement {
+		p.rs.bestSnap = p.nl.Snapshot()
 		return nil
 	}
 	c := p.nl.Region.Outline.Center()
@@ -349,6 +409,7 @@ func (p *Placer) Initialize() error {
 	}
 	sys := p.system()
 	_, err := sys.Solve(nil, p.cfg.CG)
+	p.rs.bestSnap = p.nl.Snapshot()
 	return err
 }
 
@@ -617,24 +678,39 @@ func (p *Placer) Done(last IterStats) bool {
 	return last.EmptySquare <= p.cfg.StopSquareFactor*avg
 }
 
-// Run executes Initialize and iterates Step until the stopping criterion
-// or MaxIter. Solver non-convergence is tolerated; structural errors abort.
-func (p *Placer) Run() (Result, error) {
+// Run iterates Step until the stopping criterion, MaxIter, or ctx is done,
+// checking ctx between transformations (step granularity). On the first
+// call it runs Initialize; a placer reconstructed by Resume — or a placer
+// whose previous Run was cancelled — continues from where it stopped, so
+// Run/cancel/Run and an uninterrupted Run walk the identical iteration
+// sequence.
+//
+// Cancellation is not an error: because every intermediate placement is
+// usable, a cancelled or deadline-expired run returns the best placement
+// reached so far with StopReason set to StopCancelled or StopDeadline and
+// a nil error. Solver non-convergence is likewise tolerated; only
+// structural errors (a solve that made no progress at all) abort.
+func (p *Placer) Run(ctx context.Context) (Result, error) {
 	start := obsv.StartTimer()
 	var res Result
-	if err := p.Initialize(); err != nil {
-		return res, fmt.Errorf("place: initial solve: %w", err)
+	if !p.rs.started {
+		if err := p.Initialize(); err != nil {
+			return res, fmt.Errorf("place: initial solve: %w", err)
+		}
 	}
-	doneStreak := 0
-	bestOvf := math.Inf(1)
-	bestIter := 0
-	bestSnap := p.nl.Snapshot()
+	res.Iterations = p.iter
+	res.HPWL = p.nl.HPWL()
 	// Fast mode gives up on a stalled distribution much sooner.
 	stagnationWindow := 30
 	if p.cfg.K > 0.5 {
 		stagnationWindow = 12
 	}
-	for it := 0; it < p.cfg.MaxIter; it++ {
+	for p.iter < p.cfg.MaxIter {
+		if err := ctx.Err(); err != nil {
+			res.StopReason = stopReasonFor(err)
+			break
+		}
+		it := p.iter
 		stats, err := p.Step()
 		if err != nil && stats.CGIterX == 0 && stats.CGIterY == 0 {
 			// A solve that made no progress at all is fatal.
@@ -644,39 +720,39 @@ func (p *Placer) Run() (Result, error) {
 			res.Trace = append(res.Trace, stats)
 		}
 		res.Phases.add(stats)
-		res.Iterations = it + 1
+		res.Iterations = p.iter
 		res.HPWL = stats.HPWL
 		res.Overflow = stats.Overflow
-		if stats.Overflow < bestOvf*0.99 {
-			bestOvf = stats.Overflow
-			bestIter = it
-			bestSnap = p.nl.Snapshot()
+		if stats.Overflow < p.rs.bestOvf*0.99 {
+			p.rs.bestOvf = stats.Overflow
+			p.rs.bestIter = it
+			p.rs.bestSnap = p.nl.Snapshot()
 		}
 		// The empty-square measure can dip transiently while the placement
 		// still sloshes; require the criterion on consecutive iterations.
 		if p.Done(stats) {
-			doneStreak++
-			if doneStreak >= 2 {
+			p.rs.doneStreak++
+			if p.rs.doneStreak >= 2 {
 				res.Converged = true
-				res.StopReason = "criterion"
+				res.StopReason = StopCriterion
 				break
 			}
 		} else {
-			doneStreak = 0
+			p.rs.doneStreak = 0
 		}
 		// Secondary stop: the distribution stopped improving; keep the best
 		// placement seen instead of whatever the last slosh produced.
-		if it-bestIter >= stagnationWindow {
-			p.nl.Restore(bestSnap)
+		if it-p.rs.bestIter >= stagnationWindow {
+			p.nl.Restore(p.rs.bestSnap)
 			res.Converged = true
-			res.StopReason = "stagnation"
+			res.StopReason = StopStagnation
 			res.HPWL = p.nl.HPWL()
-			res.Overflow = bestOvf
+			res.Overflow = p.rs.bestOvf
 			break
 		}
 	}
 	if res.StopReason == "" {
-		res.StopReason = "max-iter"
+		res.StopReason = StopMaxIter
 	}
 	res.Runtime = start.Elapsed()
 	return res, nil
@@ -685,7 +761,14 @@ func (p *Placer) Run() (Result, error) {
 // Global is the convenience entry point: place nl with cfg and return the
 // run summary.
 func Global(nl *netlist.Netlist, cfg Config) (Result, error) {
-	return New(nl, cfg).Run()
+	return New(nl, cfg).Run(context.Background())
+}
+
+// GlobalContext is Global with step-granular cancellation: on ctx
+// cancellation or deadline the best placement so far is kept in nl and the
+// result reports StopCancelled/StopDeadline instead of an error.
+func GlobalContext(ctx context.Context, nl *netlist.Netlist, cfg Config) (Result, error) {
+	return New(nl, cfg).Run(ctx)
 }
 
 // kickRef calibrates the force increment: the effective per-iteration kick

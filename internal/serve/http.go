@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/netlist"
+	"repro/internal/place"
+)
+
+// SubmitRequest is the POST /jobs JSON body. The netlist travels in the
+// repo's text interchange format (netlist.Read / netlist.Write).
+type SubmitRequest struct {
+	// Netlist is the design in text interchange format.
+	Netlist string `json:"netlist"`
+	// K is the Kraftwerk speed parameter (0 → 0.2 standard mode).
+	K float64 `json:"k,omitempty"`
+	// MaxIter caps the transformations (0 → engine default).
+	MaxIter int `json:"max_iter,omitempty"`
+	// DeadlineMS bounds the job's wall time in milliseconds; on expiry
+	// the job completes with its best placement so far and
+	// stop_reason "deadline". 0 uses the server default.
+	DeadlineMS int `json:"deadline_ms,omitempty"`
+}
+
+// SubmitResponse is the POST /jobs success body.
+type SubmitResponse struct {
+	ID string `json:"id"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST /jobs              submit (202, 400, 429 queue full, 503 draining)
+//	GET  /jobs              all job statuses, submission order
+//	GET  /jobs/{id}         one job's status
+//	GET  /jobs/{id}/result  placed netlist, text format (409 until terminal)
+//	POST /jobs/{id}/cancel  cancel a queued or running job
+//	GET  /healthz           service health (503 while draining)
+//	GET  /metrics           Prometheus text encoding
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.Handle("GET /metrics", s.reg)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	nl, err := netlist.Read(strings.NewReader(req.Netlist))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad netlist: " + err.Error()})
+		return
+	}
+	job, err := s.Submit(JobRequest{
+		Netlist:  nl,
+		Config:   place.Config{K: req.K, MaxIter: req.MaxIter},
+		Deadline: time.Duration(req.DeadlineMS) * time.Millisecond,
+	})
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, SubmitResponse{ID: job.ID()})
+	case err == ErrQueueFull:
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+	case err == ErrDraining:
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("unknown job %q", r.PathValue("id"))})
+	}
+	return j, ok
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	st := j.Status()
+	if !st.State.Terminal() {
+		writeJSON(w, http.StatusConflict, errorResponse{Error: fmt.Sprintf("job %s is %s; result not ready", j.ID(), st.State)})
+		return
+	}
+	if st.State == StateFailed {
+		writeJSON(w, http.StatusGone, errorResponse{Error: "job failed: " + st.Error})
+		return
+	}
+	// Done and cancelled jobs both hold a legal (possibly partial)
+	// placement — that is the point of the serving layer.
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if err := netlist.Write(w, j.Netlist()); err != nil {
+		// Headers are gone; nothing better to do than log-by-status.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	h := s.Health()
+	code := http.StatusOK
+	if h.Draining {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}

@@ -31,6 +31,7 @@
 package placement
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/anneal"
@@ -45,6 +46,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/obsv"
 	"repro/internal/place"
+	"repro/internal/serve"
 	"repro/internal/sparse"
 	"repro/internal/timing"
 )
@@ -136,12 +138,94 @@ type (
 	PhaseTotals = place.PhaseTotals
 )
 
+// Stop reasons a Result can report. Criterion, stagnation and max-iter
+// end a run on the algorithm's own terms; cancelled and deadline are
+// externally imposed via GlobalContext / Placer.Run and leave the best
+// placement so far in the netlist with a nil error.
+const (
+	StopCriterion  = place.StopCriterion
+	StopStagnation = place.StopStagnation
+	StopMaxIter    = place.StopMaxIter
+	StopCancelled  = place.StopCancelled
+	StopDeadline   = place.StopDeadline
+)
+
 // Global runs force-directed global placement on nl (§4.2), mutating cell
 // positions in place.
 func Global(nl *Netlist, cfg Config) (Result, error) { return place.Global(nl, cfg) }
 
+// GlobalContext is Global with step-granular cancellation: when ctx is
+// cancelled or its deadline expires, the run stops at the next placement
+// transformation and returns the best placement so far with
+// Result.StopReason set to StopCancelled or StopDeadline — not an error,
+// since any prefix of the iteration is a valid placement.
+func GlobalContext(ctx context.Context, nl *Netlist, cfg Config) (Result, error) {
+	return place.GlobalContext(ctx, nl, cfg)
+}
+
 // NewPlacer prepares a stepwise placer (call Initialize, then Step).
 func NewPlacer(nl *Netlist, cfg Config) *Placer { return place.New(nl, cfg) }
+
+// Checkpoint / resume: a Placer's full iteration state (positions,
+// iteration counter, accumulated forces, net weights, solver warm state)
+// serializes to a versioned JSON snapshot; resuming continues
+// bit-compatibly with a run that was never interrupted.
+type Checkpoint = place.Checkpoint
+
+// CheckpointVersion is the snapshot schema version written by
+// Placer.Checkpoint.
+const CheckpointVersion = place.CheckpointVersion
+
+// DecodeCheckpoint reads and validates a snapshot; truncated or corrupted
+// input errors, never panics.
+func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) { return place.DecodeCheckpoint(r) }
+
+// Resume reconstructs a warm placer from a snapshot taken by
+// Placer.Checkpoint on the same design under the same Config.
+func Resume(nl *Netlist, cfg Config, ck *Checkpoint) (*Placer, error) {
+	return place.Resume(nl, cfg, ck)
+}
+
+// Serving layer: a bounded job queue over a placement worker pool with
+// backpressure (ErrJobQueueFull), per-job deadlines that degrade
+// gracefully to the best placement so far, cancellation, panic isolation,
+// and checkpoint-on-drain shutdown. cmd/kserved is the HTTP daemon over
+// the same types.
+type (
+	// ServeConfig sizes a placement Server.
+	ServeConfig = serve.Config
+	// Server is the placement service.
+	Server = serve.Server
+	// Job is one submitted placement job.
+	Job = serve.Job
+	// JobRequest describes a job to submit.
+	JobRequest = serve.JobRequest
+	// JobStatus is a point-in-time job snapshot.
+	JobStatus = serve.Status
+	// JobState is a job's lifecycle position.
+	JobState = serve.State
+)
+
+// Job lifecycle states.
+const (
+	JobQueued    = serve.StateQueued
+	JobRunning   = serve.StateRunning
+	JobDone      = serve.StateDone
+	JobCancelled = serve.StateCancelled
+	JobFailed    = serve.StateFailed
+)
+
+// Serving errors.
+var (
+	// ErrJobQueueFull is returned by Server.Submit under backpressure.
+	ErrJobQueueFull = serve.ErrQueueFull
+	// ErrServerDraining is returned by Server.Submit during shutdown.
+	ErrServerDraining = serve.ErrDraining
+)
+
+// NewServer starts a placement service; call Server.Shutdown to drain it.
+// Server.Handler exposes the HTTP API kserved serves.
+func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
 
 // Observability (spans, metrics, run traces). Set Config.Spans /
 // Config.Metrics / Config.OnIteration to observe a run; all sinks are
