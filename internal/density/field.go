@@ -186,6 +186,7 @@ func computeFFT(g *Grid) *Field {
 		}
 	}
 	fc.plan.ConvolveSpectra(fc.out[:], fc.src, fc.specs[:])
+	//lint:ignore hotalloc the Field is the solve's result and escapes to the caller; one backing allocation per field solve, not per bin
 	f := &Field{grid: g, FX: make([]float64, len(g.D)), FY: make([]float64, len(g.D))}
 	for iy := 0; iy < g.NY; iy++ {
 		for ix := 0; ix < g.NX; ix++ {
@@ -239,14 +240,17 @@ func (f *Field) At(p geom.Point) geom.Point {
 	tx := fx - float64(ix0)
 	ty := fy - float64(iy0)
 
-	lerp := func(v []float64) float64 {
-		v00 := v[g.Idx(ix0, iy0)]
-		v10 := v[g.Idx(ix1, iy0)]
-		v01 := v[g.Idx(ix0, iy1)]
-		v11 := v[g.Idx(ix1, iy1)]
-		return (1-ty)*((1-tx)*v00+tx*v10) + ty*((1-tx)*v01+tx*v11)
+	i00, i10 := g.Idx(ix0, iy0), g.Idx(ix1, iy0)
+	i01, i11 := g.Idx(ix0, iy1), g.Idx(ix1, iy1)
+	return geom.Point{
+		X: bilerp(f.FX[i00], f.FX[i10], f.FX[i01], f.FX[i11], tx, ty),
+		Y: bilerp(f.FY[i00], f.FY[i10], f.FY[i01], f.FY[i11], tx, ty),
 	}
-	return geom.Point{X: lerp(f.FX), Y: lerp(f.FY)}
+}
+
+// bilerp interpolates the four corner samples at fractional offsets tx, ty.
+func bilerp(v00, v10, v01, v11, tx, ty float64) float64 {
+	return (1-ty)*((1-tx)*v00+tx*v10) + ty*((1-tx)*v01+tx*v11)
 }
 
 // MaxMagnitude returns the largest |f| over all bins, used for the paper's

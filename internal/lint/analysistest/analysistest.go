@@ -15,16 +15,27 @@
 // analyzer catches its target pattern and that it stays quiet elsewhere.
 // Suppression directives (//lint:ignore) are honored, so fixtures also
 // exercise the ignore path.
+//
+// Interprocedural analyzers use RunWithConfig, which runs the callgraph
+// fact phase over every package of the fixture (so multi-package fixtures
+// exercise cross-package fact propagation) with the roots the fixture
+// declares. Analyzers with autofixes use RunFix, which checks the fixed
+// output against `.fixed` goldens, proves it still compiles, and proves a
+// second fix pass has nothing left to do.
 package analysistest
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 	"testing"
 
 	"repro/internal/lint"
 	"repro/internal/lint/analysis"
+	"repro/internal/lint/callgraph"
 	"repro/internal/lint/load"
 )
 
@@ -45,25 +56,129 @@ type expectation struct {
 // mismatch between diagnostics and want comments as test errors.
 func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 	t.Helper()
-	pkgs, err := load.Load(load.Config{Dir: dir}, ".")
+	check(t, dir, a, nil, ".")
+}
+
+// RunWithConfig is Run with the interprocedural fact phase enabled: every
+// package under dir loads (so cross-package fixtures work) and cfg names
+// the reachability roots, usually functions inside the fixture itself.
+func RunWithConfig(t *testing.T, dir string, a *analysis.Analyzer, cfg callgraph.Config) {
+	t.Helper()
+	check(t, dir, a, &cfg, "./...")
+}
+
+func check(t *testing.T, dir string, a *analysis.Analyzer, cfg *callgraph.Config, pattern string) {
+	t.Helper()
+	pkgs, res := run(t, dir, a, cfg, pattern)
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		wants = append(wants, collectWants(t, pkg)...)
+	}
+	for _, f := range res.Findings {
+		if !claim(wants, f) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", f.File, f.Line, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// run loads the fixture and applies the analyzer as a one-rule suite.
+func run(t *testing.T, dir string, a *analysis.Analyzer, cfg *callgraph.Config, pattern string) ([]*load.Package, *lint.Result) {
+	t.Helper()
+	pkgs, err := load.Load(load.Config{Dir: dir}, pattern)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", dir, err)
 	}
-	for _, pkg := range pkgs {
-		wants := collectWants(t, pkg)
-		findings, err := lint.Run(pkg, []*analysis.Analyzer{a})
-		if err != nil {
-			t.Fatalf("running %s on %s: %v", a.Name, pkg.ImportPath, err)
+	opts := lint.Options{Graph: cfg, NoFacts: cfg == nil && !a.NeedsFacts}
+	res, err := lint.RunSuite(pkgs, []lint.Rule{{Analyzer: a}}, opts)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	return pkgs, res
+}
+
+// RunFix applies the analyzer's suggested fixes to the fixture at dir and
+// checks three properties: the fixed content of every changed file matches
+// its `<name>.fixed` golden, the fixed package still compiles (it is
+// re-loaded and type-checked from a scratch module), and a second run over
+// the fixed code suggests nothing — the fix is idempotent.
+func RunFix(t *testing.T, dir string, a *analysis.Analyzer, cfg *callgraph.Config) {
+	t.Helper()
+	pkgs, res := run(t, dir, a, cfg, ".")
+	if len(pkgs) != 1 {
+		t.Fatalf("RunFix wants a single-package fixture, got %d packages", len(pkgs))
+	}
+	fixed, applied, skipped, err := lint.ApplyFixes(res.Fset, res.Findings)
+	if err != nil {
+		t.Fatalf("applying fixes: %v", err)
+	}
+	if applied == 0 {
+		t.Fatalf("fixture produced no applicable fixes")
+	}
+	if skipped != 0 {
+		t.Errorf("fixture has %d overlapping fixes; RunFix fixtures should apply cleanly in one pass", skipped)
+	}
+
+	changed := make([]string, 0, len(fixed))
+	for file := range fixed {
+		changed = append(changed, file)
+	}
+	sort.Strings(changed)
+	for _, file := range changed {
+		golden := file + ".fixed"
+		want, rerr := os.ReadFile(golden)
+		if rerr != nil {
+			t.Errorf("fix changed %s but no golden exists: %v", filepath.Base(file), rerr)
+			continue
 		}
-		for _, f := range findings {
-			if !claim(wants, f) {
-				t.Errorf("%s:%d: unexpected diagnostic: %s", f.File, f.Line, f.Message)
+		if string(fixed[file]) != string(want) {
+			t.Errorf("fixed %s differs from golden:\n%s", filepath.Base(file),
+				lint.Diff(golden, want, fixed[file]))
+		}
+	}
+
+	// Rebuild the fixture in a scratch module with the fixes applied: a
+	// successful load is a successful compile, and a clean re-run proves
+	// the fixes do not feed the analyzer new findings.
+	tmp := t.TempDir()
+	if err := os.WriteFile(filepath.Join(tmp, "go.mod"), []byte("module fixture\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(pkgs[0].Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		src := filepath.Join(pkgs[0].Dir, e.Name())
+		content, ok := fixed[src]
+		if !ok {
+			if content, err = os.ReadFile(src); err != nil {
+				t.Fatal(err)
 			}
 		}
-		for _, w := range wants {
-			if !w.matched {
-				t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
-			}
+		if err := os.WriteFile(filepath.Join(tmp, e.Name()), content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	repkgs, err := load.Load(load.Config{Dir: tmp}, ".")
+	if err != nil {
+		t.Fatalf("fixed fixture no longer compiles: %v", err)
+	}
+	reres, err := lint.RunSuite(repkgs, []lint.Rule{{Analyzer: a}}, lint.Options{Graph: cfg, NoFacts: cfg == nil && !a.NeedsFacts})
+	if err != nil {
+		t.Fatalf("re-running %s on fixed fixture: %v", a.Name, err)
+	}
+	for _, f := range reres.Findings {
+		if len(f.Fixes) > 0 {
+			t.Errorf("fix not idempotent: second run still suggests a fix at %s:%d: %s",
+				filepath.Base(f.File), f.Line, f.Message)
 		}
 	}
 }

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Baseline grandfathers known findings so kvet can gate on new ones only.
+// Entries match by analyzer, module-relative file and message — not line
+// numbers, which shift with every edit — and carry a count, so N
+// grandfathered instances of an identical finding tolerate exactly N
+// occurrences; the N+1st is new and reported.
+type Baseline struct {
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry is one grandfathered finding class.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+func baselineKey(analyzer, relFile, message string) string {
+	return analyzer + "\x00" + relFile + "\x00" + message
+}
+
+// relTo renders file relative to root with forward slashes, falling back
+// to the input when it is not under root.
+func relTo(root, file string) string {
+	rel, err := filepath.Rel(root, file)
+	if err != nil || rel == ".." || filepath.IsAbs(rel) || len(rel) > 1 && rel[:3] == ".."+string(filepath.Separator) {
+		return filepath.ToSlash(file)
+	}
+	return filepath.ToSlash(rel)
+}
+
+// WriteBaseline snapshots findings into path, relativized against root.
+func WriteBaseline(path, root string, findings []Finding) error {
+	counts := make(map[string]int)
+	for _, f := range findings {
+		counts[baselineKey(f.Analyzer, relTo(root, f.File), f.Message)]++
+	}
+	bl := Baseline{}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		var e BaselineEntry
+		parts := splitBaselineKey(k)
+		e.Analyzer, e.File, e.Message, e.Count = parts[0], parts[1], parts[2], counts[k]
+		bl.Findings = append(bl.Findings, e)
+	}
+	data, err := json.MarshalIndent(&bl, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func splitBaselineKey(k string) [3]string {
+	var out [3]string
+	idx := 0
+	start := 0
+	for i := 0; i < len(k) && idx < 2; i++ {
+		if k[i] == '\x00' {
+			out[idx] = k[start:i]
+			idx++
+			start = i + 1
+		}
+	}
+	out[2] = k[start:]
+	return out
+}
+
+// LoadBaseline reads a baseline written by WriteBaseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bl Baseline
+	if err := json.Unmarshal(data, &bl); err != nil {
+		return nil, fmt.Errorf("baseline %s: %v", path, err)
+	}
+	return &bl, nil
+}
+
+// ApplyBaseline removes findings the baseline grandfathers and returns
+// the survivors plus the number suppressed. Matching consumes counts, so
+// a finding class that grew beyond its grandfathered count surfaces the
+// excess.
+func ApplyBaseline(bl *Baseline, root string, findings []Finding) (kept []Finding, grandfathered int) {
+	budget := make(map[string]int, len(bl.Findings))
+	for _, e := range bl.Findings {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		budget[baselineKey(e.Analyzer, e.File, e.Message)] += n
+	}
+	for _, f := range findings {
+		k := baselineKey(f.Analyzer, relTo(root, f.File), f.Message)
+		if budget[k] > 0 {
+			budget[k]--
+			grandfathered++
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept, grandfathered
+}

@@ -1,0 +1,358 @@
+// Package callgraph builds the interprocedural layer under kvet's v2
+// analyzers: a per-function summary fact (does it block, how, does it take
+// a context, whom does it call) exported per package object, and a
+// package-spanning call graph over those facts with reachability marks
+// (is this function on a cancellation path from place.Run or an HTTP
+// handler; is it inside place.Step's per-transformation hot loop).
+//
+// Facts are keyed by the canonical object string (types.Func.FullName),
+// not by object identity: the load package type-checks target packages
+// from source but resolves their imports through compiled export data, so
+// the same function is a different types.Object on each side of a package
+// boundary while its FullName is identical. Exporting the summary under
+// that key when the defining package is analyzed and looking it up by the
+// same key at every cross-package call site is what carries the analysis
+// across package boundaries.
+//
+// The model is deliberately a summary, not a proof. Dynamic calls through
+// function values and interface methods are edges to nowhere (no fact ever
+// materializes for them), and ops inside `go` statements count against the
+// enclosing function even though they block a different goroutine.
+// Function literals are inlined into their enclosing declaration, which
+// recovers the repo's dominant callback idiom (par.Run(w, n, func(...){...})
+// attributes the closure's ops to the caller, where they belong).
+package callgraph
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// Class is a bitmask of blocking-operation classes. ctxflow cares about
+// everything except Lock (mutexes are short-held by policy — lockheld
+// enforces that separately); lockheld cares about all of them, nested Lock
+// included.
+type Class uint8
+
+const (
+	// Chan marks channel sends, receives, selects without a default, and
+	// ranges over channels.
+	Chan Class = 1 << iota
+	// Sleep marks time.Sleep and timer/ticker waits.
+	Sleep
+	// Wait marks WaitGroup/Cond joins with no deadline.
+	Wait
+	// Lock marks mutex acquisition.
+	Lock
+	// IO marks file, network and process I/O.
+	IO
+)
+
+// String spells the classes in a fixed order, for diagnostics.
+func (c Class) String() string {
+	var parts []string
+	for _, e := range [...]struct {
+		bit  Class
+		name string
+	}{{Chan, "chan-op"}, {Sleep, "sleep"}, {Wait, "wait"}, {Lock, "lock"}, {IO, "I/O"}} {
+		if c&e.bit != 0 {
+			parts = append(parts, e.name)
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// FuncFact is the per-function interprocedural summary. The builder fills
+// the direct fields; Finalize fills the closure fields and marks.
+type FuncFact struct {
+	// Key is the canonical object string the fact is stored under.
+	Key string
+	// HasCtx reports a context.Context (or *http.Request, which carries
+	// one) among the parameters, i.e. the function is cancellation-aware.
+	HasCtx bool
+	// HandlerShape reports the (http.ResponseWriter, *http.Request)
+	// signature; such functions are automatic cancellation roots.
+	HandlerShape bool
+	// Blocks is the union of blocking classes of ops in the function body
+	// itself (function literals included).
+	Blocks Class
+	// BlockDetail names one representative direct blocking op per class,
+	// e.g. "time.Sleep", for diagnostics.
+	BlockDetail []string
+	// Callees lists the canonical keys of statically resolved calls,
+	// sorted and deduplicated.
+	Callees []string
+
+	// MayBlock is the closure union: Blocks of this function and of every
+	// function reachable from it through resolved calls. Filled by
+	// Finalize.
+	MayBlock Class
+	// CtxReachable marks functions reachable from a cancellation root
+	// (place.Run, the serve handlers). Filled by Finalize.
+	CtxReachable bool
+	// Hot marks functions reachable from a hot-loop root (place.Step).
+	// Filled by Finalize.
+	Hot bool
+}
+
+// AFact marks FuncFact as an analysis.Fact.
+func (*FuncFact) AFact() {}
+
+// Config parameterizes graph construction. The repo policy lives in
+// lint.GraphConfig; fixtures pass their own roots.
+type Config struct {
+	// CtxRoots are canonical keys of cancellation entry points. Functions
+	// with HandlerShape are roots automatically.
+	CtxRoots []string
+	// HotRoots are canonical keys of hot-loop entry points.
+	HotRoots []string
+	// Bounded are canonical keys treated as non-blocking even though they
+	// contain waits: bounded fork-joins (par.Run, par.Pair) that return as
+	// soon as their own CPU-bound work finishes, so cancellation at their
+	// granularity is neither possible nor wanted.
+	Bounded []string
+	// Cold are canonical keys where the Hot reachability walk stops: the
+	// function itself is not marked and its callees are not visited through
+	// it. This declares a sanctioned cache-miss / construction layer — code
+	// a hot root can reach on the first iteration but that amortizes away
+	// in steady state (plan construction behind a cache lookup, symbolic
+	// rebuilds behind a topology check).
+	Cold []string
+}
+
+// DefaultBounded lists the repo's sanctioned bounded fork-join primitives:
+// they contain waits and channel ops, but return as soon as their own
+// CPU-bound work finishes, so treating them as blocking would indict every
+// hot-path caller without making anything more cancellable. Cancellation
+// happens at the granularity of the place.Step that invoked them.
+var DefaultBounded = []string{
+	"repro/internal/par.Run",
+	"repro/internal/par.Pair",
+}
+
+// stdlibBlocking classifies standard-library calls by canonical key. The
+// table is a policy, not an enumeration of truth: fmt.Fprintf to a
+// bytes.Buffer does not block, so writer-parameterized functions stay out;
+// encoding/json Encode/Decode are in because every use in this repo wraps
+// a file or socket.
+var stdlibBlocking = map[string]Class{
+	"time.Sleep": Sleep,
+
+	"(*sync.WaitGroup).Wait": Wait,
+	"(*sync.Cond).Wait":      Wait,
+
+	"(*sync.Mutex).Lock":    Lock,
+	"(*sync.RWMutex).Lock":  Lock,
+	"(*sync.RWMutex).RLock": Lock,
+
+	"os.Create": IO, "os.Open": IO, "os.OpenFile": IO,
+	"os.ReadFile": IO, "os.WriteFile": IO, "os.ReadDir": IO,
+	"os.Remove": IO, "os.RemoveAll": IO, "os.Rename": IO,
+	"os.Mkdir": IO, "os.MkdirAll": IO, "os.MkdirTemp": IO,
+	"(*os.File).Read": IO, "(*os.File).ReadAt": IO,
+	"(*os.File).Write": IO, "(*os.File).WriteAt": IO,
+	"(*os.File).WriteString": IO, "(*os.File).Close": IO,
+	"(*os.File).Sync": IO,
+
+	"io.Copy": IO, "io.CopyN": IO, "io.ReadAll": IO, "io.ReadFull": IO,
+
+	"(*bufio.Writer).Flush": IO,
+
+	"net.Dial": IO, "net.DialTimeout": IO, "net.Listen": IO,
+
+	"net/http.Get": IO, "net/http.Post": IO, "net/http.Head": IO,
+	"net/http.PostForm": IO, "net/http.ListenAndServe": IO,
+	"(*net/http.Client).Do": IO, "(*net/http.Client).Get": IO,
+	"(*net/http.Client).Post": IO, "(*net/http.Client).Head": IO,
+	"(*net/http.Client).PostForm":       IO,
+	"(*net/http.Server).Serve":          IO,
+	"(*net/http.Server).ListenAndServe": IO,
+
+	"(*os/exec.Cmd).Run": IO, "(*os/exec.Cmd).Output": IO,
+	"(*os/exec.Cmd).CombinedOutput": IO, "(*os/exec.Cmd).Wait": Wait,
+
+	"(*encoding/json.Encoder).Encode": IO,
+	"(*encoding/json.Decoder).Decode": IO,
+
+	"fmt.Print": IO, "fmt.Printf": IO, "fmt.Println": IO,
+	"fmt.Scan": IO, "fmt.Scanf": IO, "fmt.Scanln": IO,
+}
+
+// ClassifyCall resolves call's static callee and classifies it: a blocking
+// class when the callee is in the stdlib table, the callee's canonical key
+// when it is a project function worth an edge, or neither (dynamic call or
+// uninteresting stdlib). bounded suppresses the named keys.
+func ClassifyCall(info *types.Info, call *ast.CallExpr, bounded map[string]bool) (cls Class, what string, callee string) {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return 0, "", ""
+	}
+	key := fn.FullName()
+	if bounded[key] {
+		return 0, "", ""
+	}
+	if c, ok := stdlibBlocking[key]; ok {
+		return c, key, ""
+	}
+	if fn.Pkg() == nil {
+		return 0, "", "" // builtins (error.Error and friends)
+	}
+	// Every other resolved callee becomes an edge. Edges into packages
+	// outside the analyzed set (stdlib included) are inert: no fact ever
+	// materializes under their key, so traversal stops there.
+	return 0, "", key
+}
+
+// CalleeKey resolves the canonical key of a call's static callee, or ""
+// for dynamic calls and builtins — for analyzers that need to recognize
+// specific callees (e.g. the bounded fork-joins) without classification.
+func CalleeKey(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.FullName()
+}
+
+// calleeFunc resolves the *types.Func a call statically dispatches to, or
+// nil for dynamic calls (function values, interface methods resolve to the
+// abstract method — kept, it still yields a stable key even if no fact
+// ever lands there).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// summarize walks one function declaration and produces its direct fact.
+func summarize(pkg *load.Package, decl *ast.FuncDecl, key string, bounded map[string]bool) *FuncFact {
+	f := &FuncFact{Key: key}
+	if decl.Type.Params != nil {
+		for _, field := range decl.Type.Params.List {
+			tv, ok := pkg.Info.Types[field.Type]
+			if !ok {
+				continue
+			}
+			switch typeKey(tv.Type) {
+			case "context.Context", "*net/http.Request":
+				f.HasCtx = true
+			}
+		}
+		f.HandlerShape = handlerShape(pkg.Info, decl.Type)
+	}
+	if decl.Body == nil {
+		return f
+	}
+	callees := map[string]bool{}
+	detail := map[Class]string{}
+	addOp := func(c Class, what string) {
+		f.Blocks |= c
+		if _, ok := detail[c]; !ok {
+			detail[c] = what
+		}
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			cls, what, callee := ClassifyCall(pkg.Info, n, bounded)
+			if cls != 0 {
+				addOp(cls, what)
+			}
+			if callee != "" {
+				callees[callee] = true
+			}
+		case *ast.SendStmt:
+			addOp(Chan, "chan send")
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				addOp(Chan, "chan receive")
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				addOp(Chan, "select")
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pkg.Info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					addOp(Chan, "range over chan")
+				}
+			}
+		}
+		return true
+	})
+	for c := Chan; c <= IO; c <<= 1 {
+		if w, ok := detail[c]; ok {
+			f.BlockDetail = append(f.BlockDetail, w)
+		}
+	}
+	f.Callees = make([]string, 0, len(callees))
+	for k := range callees {
+		f.Callees = append(f.Callees, k)
+	}
+	sort.Strings(f.Callees)
+	return f
+}
+
+// selectHasDefault reports whether sel can always proceed immediately.
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// typeKey renders a type as its canonical string ("context.Context",
+// "*net/http.Request") for table lookups.
+func typeKey(t types.Type) string {
+	return types.TypeString(t, nil)
+}
+
+// handlerShape matches func(http.ResponseWriter, *http.Request).
+func handlerShape(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	var flat []string
+	for _, field := range ft.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok {
+			return false
+		}
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			flat = append(flat, typeKey(tv.Type))
+		}
+	}
+	return len(flat) == 2 && flat[0] == "net/http.ResponseWriter" && flat[1] == "*net/http.Request"
+}
+
+// FuncKey returns the canonical key for the function declared by decl, or
+// "" when the declaration has no resolvable object.
+func FuncKey(info *types.Info, decl *ast.FuncDecl) string {
+	obj := info.Defs[decl.Name]
+	if obj == nil {
+		return ""
+	}
+	return analysis.ObjectKey(obj)
+}

@@ -1,0 +1,32 @@
+// Package b is the dependent side of the callgraph fixture: its call
+// sites resolve into package a through export data, and reachability from
+// its handler must cross the package boundary.
+package b
+
+import (
+	"net/http"
+
+	"repro/internal/lint/callgraph/testdata/multi/a"
+)
+
+// Handler is an automatic cancellation root by signature.
+func Handler(w http.ResponseWriter, r *http.Request) {
+	a.Chain()
+}
+
+// Cold is not reachable from any root.
+func Cold() {
+	a.Sleepy()
+}
+
+// Fanout passes a closure; the closure's ops belong to Fanout.
+func Fanout(run func(func())) {
+	run(func() {
+		a.Sleepy()
+	})
+}
+
+// UsesMethod calls a method across the boundary.
+func UsesMethod(c *a.Counter) {
+	c.Bump()
+}

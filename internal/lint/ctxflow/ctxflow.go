@@ -1,0 +1,69 @@
+// Package ctxflow enforces the cancellation contract of the serving path:
+// any function reachable from a cancellation root — place.Run, the serve
+// HTTP handlers — that performs a blocking operation (channel op, sleep,
+// unbounded wait, file/network I/O) must take a context.Context, so the
+// Kraftwerk property "every iteration prefix is a legal placement" stays
+// reachable from the outside: a job can only be cancelled or deadlined if
+// every blocking point on its path can observe the context.
+//
+// The reachability and blocking classification come from the callgraph
+// fact store (interprocedural, cross-package); the analyzer itself only
+// decides which of its own package's declarations to flag. Mutex
+// acquisition is exempt here — short critical sections are lockheld's
+// business — and so are the bounded fork-joins (par.Run, par.Pair), which
+// return as soon as their own CPU-bound work completes and are cancelled
+// at the granularity of the step that invoked them.
+package ctxflow
+
+import (
+	"go/ast"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/callgraph"
+)
+
+// Analyzer flags blocking functions on cancellation paths that cannot
+// observe a context.
+var Analyzer = &analysis.Analyzer{
+	Name:       "ctxflow",
+	Doc:        "flags functions reachable from place.Run or a serve handler that block (chan op, sleep, wait, I/O) without taking a context.Context; a blocking point that cannot observe cancellation pins jobs past their deadline",
+	Run:        run,
+	NeedsFacts: true,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Facts == nil {
+		return nil // driver ran without the fact phase; nothing to reason from
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			key := callgraph.FuncKey(pass.TypesInfo, decl)
+			if key == "" {
+				continue
+			}
+			var fact callgraph.FuncFact
+			if !pass.Facts.ObjectFact(key, &fact) {
+				continue
+			}
+			if !fact.CtxReachable || fact.HasCtx {
+				continue // off every cancellation path, or already aware
+			}
+			blocks := fact.Blocks &^ callgraph.Lock
+			if blocks == 0 {
+				continue
+			}
+			detail := ""
+			if len(fact.BlockDetail) > 0 {
+				detail = " (" + fact.BlockDetail[0] + ")"
+			}
+			pass.Reportf(decl.Name.Pos(),
+				"%s blocks%s [%s] and is reachable from a cancellation root but takes no context.Context; a blocked call here cannot observe cancellation or deadlines",
+				decl.Name.Name, detail, blocks)
+		}
+	}
+	return nil
+}

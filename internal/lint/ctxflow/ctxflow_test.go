@@ -1,0 +1,16 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/callgraph"
+	"repro/internal/lint/ctxflow"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.RunWithConfig(t, "testdata/fixture", ctxflow.Analyzer, callgraph.Config{
+		CtxRoots: []string{"repro/internal/lint/ctxflow/testdata/fixture.Root"},
+		Bounded:  callgraph.DefaultBounded,
+	})
+}

@@ -1,0 +1,70 @@
+// Package fixture exercises ctxflow: Root is the configured cancellation
+// root; handler-shaped functions are roots automatically.
+package fixture
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Root is the cancellation entry point the test configures. It blocks
+// only through callees, so it is not flagged itself — the functions that
+// actually block are.
+func Root(ctx context.Context) int {
+	helper()
+	aware(ctx)
+	calm()
+	locked()
+	return drain(make(chan int, 1))
+}
+
+func helper() { // want `helper blocks \(time\.Sleep\) \[sleep\] and is reachable from a cancellation root`
+	time.Sleep(time.Millisecond)
+}
+
+// aware blocks but takes a context: quiet.
+func aware(ctx context.Context) {
+	t := time.NewTimer(time.Millisecond)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// calm is reachable but does nothing blocking: quiet.
+func calm() {}
+
+func drain(ch chan int) int { // want `drain blocks \(chan receive\) \[chan-op\] and is reachable`
+	return <-ch
+}
+
+var mu sync.Mutex
+
+// locked only takes a mutex — that is lockheld's jurisdiction, not a
+// cancellation concern: quiet.
+func locked() {
+	mu.Lock()
+	mu.Unlock()
+}
+
+// offPath blocks without a context but nothing on a cancellation path
+// calls it: quiet.
+func offPath() {
+	time.Sleep(time.Millisecond)
+}
+
+// Handle is handler-shaped, so it is a root without configuration. It
+// carries a *http.Request (hence a context): quiet itself.
+func Handle(w http.ResponseWriter, r *http.Request) {
+	logLine()
+}
+
+func logLine() { // want `logLine blocks \(fmt\.Println\) \[I/O\] and is reachable`
+	fmt.Println("ok")
+}
+
+var _ = offPath

@@ -1,0 +1,93 @@
+// Package fixture exercises errflow: dropped trailing errors, sequential
+// overwrites, shadowing — and the idioms that must stay quiet (wrap-and-
+// reassign, loop retry, closure capture, named results, if-init defines).
+package fixture
+
+import (
+	"errors"
+	"os"
+)
+
+// dropped is the classic trailing-Close bug: the error is produced and
+// nothing ever looks at it.
+func dropped(f *os.File) {
+	err := f.Sync()
+	if err != nil {
+		return
+	}
+	err = f.Close() // want `err assigned and never checked`
+}
+
+// overwritten loses the Sync error before anything checks it.
+func overwritten(f *os.File) error {
+	var err error
+	err = f.Sync() // want `err overwritten at line \d+ before this value is checked`
+	err = f.Close()
+	return err
+}
+
+// wrapped is the sanctioned reassignment: the overwrite consumes the old
+// value on its right-hand side.
+func wrapped(f *os.File) error {
+	var err error
+	err = f.Sync()
+	err = errors.Join(err, f.Close())
+	return err
+}
+
+// shadowed declares a second err inside the block; checks on it leave the
+// outer one unchecked.
+func shadowed(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	buf := make([]byte, 4)
+	if len(buf) > 0 {
+		n, err := f.Read(buf) // want `err shadows the err declared at line \d+`
+		if err != nil || n == 0 {
+			return err
+		}
+	}
+	return err
+}
+
+// ifInit is idiomatic scoping, not shadowing.
+func ifInit(f *os.File) error {
+	var err error
+	err = f.Sync()
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// retryLoop reassigns in a loop; the next iteration (and the return)
+// read the value.
+func retryLoop(f *os.File) error {
+	var err error
+	for i := 0; i < 3; i++ {
+		err = f.Sync()
+		if err == nil {
+			break
+		}
+	}
+	return err
+}
+
+// closureRead hands the error to a closure; the write is observable.
+func closureRead(f *os.File) func() error {
+	var err error
+	err = f.Sync()
+	return func() error { return err }
+}
+
+// named results are read by every return, bare or not.
+func named(f *os.File) (err error) {
+	err = f.Sync()
+	return
+}

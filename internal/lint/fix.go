@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+// edit is one textual replacement resolved to byte offsets in a file.
+type edit struct {
+	start, end int
+	text       string
+}
+
+// ApplyFixes applies the first suggested fix of every finding that carries
+// one and returns the rewritten contents per file (absolute path), along
+// with the number of fixes applied. Overlapping fixes are resolved in
+// favor of the earlier one; the later is skipped and counted in skipped —
+// rerunning kvet -fix picks it up once the tree has settled. A pure
+// deletion that leaves its line blank consumes the whole line, so deleted
+// directives do not leave empty husks behind.
+func ApplyFixes(fset *token.FileSet, findings []Finding) (contents map[string][]byte, applied, skipped int, err error) {
+	perFile := make(map[string][]edit)
+	for _, f := range findings {
+		if len(f.Fixes) == 0 {
+			continue
+		}
+		for _, te := range f.Fixes[0].TextEdits {
+			pos := fset.Position(te.Pos)
+			end := fset.Position(te.End)
+			if pos.Filename == "" || pos.Filename != end.Filename {
+				return nil, 0, 0, fmt.Errorf("fix for %s:%d spans files", f.File, f.Line)
+			}
+			perFile[pos.Filename] = append(perFile[pos.Filename], edit{
+				start: pos.Offset, end: end.Offset, text: te.NewText,
+			})
+		}
+	}
+
+	contents = make(map[string][]byte, len(perFile))
+	for _, file := range sortedKeys(perFile) {
+		src, rerr := os.ReadFile(file)
+		if rerr != nil {
+			return nil, 0, 0, rerr
+		}
+		edits := perFile[file]
+		sort.Slice(edits, func(i, j int) bool {
+			if edits[i].start != edits[j].start {
+				return edits[i].start < edits[j].start
+			}
+			return edits[i].end < edits[j].end
+		})
+		var accepted []edit
+		prevEnd := -1
+		for _, e := range edits {
+			if e.start < prevEnd {
+				skipped++
+				continue
+			}
+			accepted = append(accepted, e)
+			prevEnd = e.end
+		}
+		out := src
+		for i := len(accepted) - 1; i >= 0; i-- {
+			e := widenDeletion(src, accepted[i])
+			out = append(out[:e.start:e.start], append([]byte(e.text), out[e.end:]...)...)
+			applied++
+		}
+		contents[file] = out
+	}
+	return contents, applied, skipped, nil
+}
+
+// widenDeletion grows a pure deletion to swallow its whole line (newline
+// included) when nothing but whitespace would remain on it.
+func widenDeletion(src []byte, e edit) edit {
+	if e.text != "" {
+		return e
+	}
+	ls := e.start
+	for ls > 0 && src[ls-1] != '\n' {
+		ls--
+	}
+	le := e.end
+	for le < len(src) && src[le] != '\n' {
+		le++
+	}
+	for _, b := range append(append([]byte(nil), src[ls:e.start]...), src[e.end:le]...) {
+		if b != ' ' && b != '\t' {
+			return e
+		}
+	}
+	if le < len(src) {
+		le++ // the newline goes too
+	}
+	return edit{start: ls, end: le}
+}
+
+func sortedKeys(m map[string][]edit) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Diff renders a minimal unified-style diff between old and new contents
+// of one file: common prefix and suffix lines are trimmed, the changed
+// middle prints as one hunk. Enough for a -diff preview; not a patch tool.
+func Diff(path string, old, new []byte) string {
+	if string(old) == string(new) {
+		return ""
+	}
+	ol := splitLines(string(old))
+	nl := splitLines(string(new))
+	pre := 0
+	for pre < len(ol) && pre < len(nl) && ol[pre] == nl[pre] {
+		pre++
+	}
+	suf := 0
+	for suf < len(ol)-pre && suf < len(nl)-pre && ol[len(ol)-1-suf] == nl[len(nl)-1-suf] {
+		suf++
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "--- %s\n+++ %s\n", path, path)
+	fmt.Fprintf(&b, "@@ -%d,%d +%d,%d @@\n", pre+1, len(ol)-pre-suf, pre+1, len(nl)-pre-suf)
+	for _, l := range ol[pre : len(ol)-suf] {
+		b.WriteString("-" + l + "\n")
+	}
+	for _, l := range nl[pre : len(nl)-suf] {
+		b.WriteString("+" + l + "\n")
+	}
+	return b.String()
+}
+
+func splitLines(s string) []string {
+	s = strings.TrimSuffix(s, "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}

@@ -1,0 +1,278 @@
+// Package hotalloc polices the paper's per-transformation hot path: in
+// any function reachable from place.Step (the Hot mark of the callgraph
+// fact store), it flags the allocation shapes that turn a zero-alloc
+// iteration into a garbage-collector treadmill — make/new, append growth,
+// slice/map/pointer composite literals, closures, and interface boxing of
+// non-pointer values at call sites. PR 2 spent real effort making the
+// step loop reuse its buffers (symbolic refill, cached FFT plans, warm CG
+// vectors); this analyzer is what keeps that property from eroding one
+// convenient `make` at a time.
+//
+// The grow-on-demand idiom stays legal: an allocation guarded by an
+// enclosing if whose condition inspects len, cap, or nil is amortized
+// (it runs until the buffer is big enough, then never again), and error
+// paths guarded by `err != nil` are off the steady-state trajectory. Both
+// are recognized by the same rule — a len/cap/nil test dominating the
+// allocation exempts it.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/callgraph"
+)
+
+// Analyzer flags per-call allocations in functions on the Step hot path.
+var Analyzer = &analysis.Analyzer{
+	Name:       "hotalloc",
+	Doc:        "flags allocations (make/new, append growth, composite literals, closures, interface boxing) in functions reachable from place.Step; the per-transformation loop is zero-alloc by design and allocation there is a perf regression",
+	Run:        run,
+	NeedsFacts: true,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Facts == nil {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			key := callgraph.FuncKey(pass.TypesInfo, decl)
+			if key == "" {
+				continue
+			}
+			var fact callgraph.FuncFact
+			if !pass.Facts.ObjectFact(key, &fact) || !fact.Hot {
+				continue
+			}
+			checkBody(pass, decl)
+		}
+	}
+	return nil
+}
+
+// checkBody walks one hot function, tracking the stack of enclosing if
+// conditions so guarded (amortized) allocations stay quiet. Two further
+// exemptions: a panic(...) subtree is a cold validation path that never
+// runs in steady state, and a function literal handed directly to one of
+// the bounded fork-joins (par.Run, par.Pair) is the sanctioned fan-out
+// idiom — the API requires a closure, and it costs one allocation per
+// fan-out, not one per element.
+func checkBody(pass *analysis.Pass, decl *ast.FuncDecl) {
+	var guards []ast.Expr
+	exemptLits := map[*ast.FuncLit]bool{}
+	bounded := make(map[string]bool, len(callgraph.DefaultBounded))
+	for _, k := range callgraph.DefaultBounded {
+		bounded[k] = true
+	}
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.IfStmt:
+			if n.Init != nil {
+				walk(n.Init)
+			}
+			walk(n.Cond)
+			guards = append(guards, n.Cond)
+			walk(n.Body)
+			if n.Else != nil {
+				walk(n.Else)
+			}
+			guards = guards[:len(guards)-1]
+			return
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					return
+				}
+			}
+			if bounded[callgraph.CalleeKey(pass.TypesInfo, n)] {
+				for _, a := range n.Args {
+					if lit, isLit := a.(*ast.FuncLit); isLit {
+						exemptLits[lit] = true
+					}
+				}
+			}
+			checkCall(pass, n, guards)
+		case *ast.CompositeLit:
+			checkComposite(pass, n, guards)
+		case *ast.FuncLit:
+			if !guarded(pass, guards) && !exemptLits[n] {
+				pass.Reportf(n.Pos(), "closure allocates on the place.Step hot path; hoist it out of the loop or reuse a method value")
+			}
+			// Still walk the body: it runs on the hot path when invoked.
+		case *ast.UnaryExpr:
+			// &T{...}: an address-taken struct literal escapes to the heap.
+			// Slice and map literals are flagged by checkComposite when the
+			// traversal reaches them.
+			if cl, ok := n.X.(*ast.CompositeLit); ok {
+				if tv, tok := pass.TypesInfo.Types[cl]; tok {
+					if _, isStruct := tv.Type.Underlying().(*types.Struct); isStruct && !guarded(pass, guards) {
+						pass.Reportf(n.Pos(), "&%s{...} allocates on the place.Step hot path; reuse a preallocated value", types.ExprString(cl.Type))
+					}
+				}
+			}
+		}
+		// Generic traversal over children.
+		ast.Inspect(n, func(child ast.Node) bool {
+			if child == n {
+				return true
+			}
+			if child == nil {
+				return false
+			}
+			switch c := child.(type) {
+			case *ast.IfStmt, *ast.CallExpr, *ast.CompositeLit, *ast.FuncLit:
+				walk(child)
+				return false
+			case *ast.UnaryExpr:
+				if c.Op == token.AND {
+					if _, ok := c.X.(*ast.CompositeLit); ok {
+						walk(child)
+						return false
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(decl.Body)
+}
+
+// guarded reports whether any enclosing if condition tests len, cap or
+// nil — the lazy-grow and error-path idioms.
+func guarded(pass *analysis.Pass, guards []ast.Expr) bool {
+	for _, g := range guards {
+		ok := false
+		ast.Inspect(g, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if id, isID := n.Fun.(*ast.Ident); isID && (id.Name == "len" || id.Name == "cap") {
+					ok = true
+				}
+			case *ast.Ident:
+				if n.Name == "nil" {
+					ok = true
+				}
+			}
+			return !ok
+		})
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCall flags make/new/append and interface boxing at call sites.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, guards []ast.Expr) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			if _, isBuiltin := obj.(*types.Builtin); isBuiltin {
+				switch id.Name {
+				case "make":
+					if !guarded(pass, guards) {
+						pass.Reportf(call.Pos(), "make allocates on the place.Step hot path; reuse a buffer sized once (guard with len/cap for amortized growth)")
+					}
+					return
+				case "new":
+					if !guarded(pass, guards) {
+						pass.Reportf(call.Pos(), "new allocates on the place.Step hot path; reuse a preallocated value")
+					}
+					return
+				case "append":
+					if !guarded(pass, guards) {
+						pass.Reportf(call.Pos(), "append may grow its backing array on the place.Step hot path; preallocate to final capacity outside the loop")
+					}
+					// fall through: argument expressions may themselves box
+				}
+			}
+		}
+	}
+	checkBoxing(pass, call, guards)
+}
+
+// checkBoxing flags call arguments converted to interface parameters when
+// the concrete argument is a non-pointer value — the conversion heap-boxes
+// it. Pointer-shaped values ride in the interface word for free.
+func checkBoxing(pass *analysis.Pass, call *ast.CallExpr, guards []ast.Expr) {
+	sig := callSignature(pass, call)
+	if sig == nil || guarded(pass, guards) {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			st, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = st.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at, ok := pass.TypesInfo.Types[arg]
+		if !ok || at.Type == nil {
+			continue
+		}
+		if types.IsInterface(at.Type) || at.IsNil() {
+			continue
+		}
+		if pointerShaped(at.Type) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "argument boxes a %s into an interface on the place.Step hot path; each call heap-allocates the value", at.Type.String())
+	}
+}
+
+// callSignature resolves the signature a call dispatches through, nil for
+// type conversions and builtins.
+func callSignature(pass *analysis.Pass, call *ast.CallExpr) *types.Signature {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// pointerShaped reports types whose interface representation needs no
+// heap box: pointers, channels, maps, funcs, unsafe pointers.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	}
+	return false
+}
+
+// checkComposite flags heap-bound composite literals: slice and map
+// literals always allocate; a struct literal allocates when its address is
+// taken. Value struct literals are plain stack values and stay quiet.
+func checkComposite(pass *analysis.Pass, lit *ast.CompositeLit, guards []ast.Expr) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok || guarded(pass, guards) {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice:
+		pass.Reportf(lit.Pos(), "slice literal allocates on the place.Step hot path; reuse a buffer")
+	case *types.Map:
+		pass.Reportf(lit.Pos(), "map literal allocates on the place.Step hot path; reuse a map (clear it between iterations)")
+	}
+}

@@ -1,0 +1,16 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/callgraph"
+	"repro/internal/lint/hotalloc"
+)
+
+func TestFixture(t *testing.T) {
+	analysistest.RunWithConfig(t, "testdata/fixture", hotalloc.Analyzer, callgraph.Config{
+		HotRoots: []string{"repro/internal/lint/hotalloc/testdata/fixture.Step"},
+		Bounded:  callgraph.DefaultBounded,
+	})
+}

@@ -1,0 +1,73 @@
+// Package fixture exercises hotalloc: Step is the configured hot root;
+// everything it reaches must not allocate per call, except through the
+// len/cap/nil-guarded amortized-growth idiom.
+package fixture
+
+type pair struct{ a, b int }
+
+type solver struct {
+	buf []float64
+	tmp []int
+	at  *pair
+}
+
+// Step is the hot root. It only calls; no direct allocations.
+func Step(s *solver, n int) float64 {
+	s.refill(n)
+	s.grow(n)
+	s.appendGrow(n)
+	s.spawn(n)
+	s.box(n)
+	s.point(n)
+	return total(s.buf)
+}
+
+func (s *solver) refill(n int) {
+	inc := make([]float64, n) // want `make allocates on the place\.Step hot path`
+	for i := range inc {
+		inc[i] = 1
+	}
+}
+
+// grow is the sanctioned idiom: the make runs only until the buffer is
+// big enough, then never again.
+func (s *solver) grow(n int) {
+	if cap(s.buf) < n {
+		s.buf = make([]float64, n)
+	}
+	s.buf = s.buf[:n]
+}
+
+func (s *solver) appendGrow(v int) {
+	s.tmp = append(s.tmp, v) // want `append may grow its backing array on the place\.Step hot path`
+}
+
+func (s *solver) spawn(n int) {
+	fn := func(i int) { s.tmp[0] = i } // want `closure allocates on the place\.Step hot path`
+	fn(n)
+}
+
+func record(key string, v any) {}
+
+func (s *solver) box(v int) {
+	record("iter", v) // want `argument boxes a int into an interface on the place\.Step hot path`
+}
+
+func (s *solver) point(n int) {
+	s.at = &pair{a: n} // want `&pair\{\.\.\.\} allocates on the place\.Step hot path`
+}
+
+// total is hot but allocation-free: quiet.
+func total(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// Cold allocates freely: nothing reachable from Step calls it.
+func Cold(n int) []int {
+	out := make([]int, n)
+	return append(out, len(out))
+}

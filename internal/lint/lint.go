@@ -2,27 +2,55 @@
 // exist, which packages each one polices, and how findings are collected,
 // suppressed and ordered. cmd/kvet is a thin driver over this package.
 //
+// v2 adds an interprocedural layer: before any reporting analyzer runs,
+// RunSuite builds per-function summaries over every loaded package (does
+// it block, does it take a context, whom does it call — see
+// internal/lint/callgraph), propagates them across package boundaries
+// through a fact store, and hands the store to analyzers that declare
+// NeedsFacts. ctxflow, lockheld and hotalloc reason from those facts;
+// the per-file analyzers are unchanged.
+//
 // Suppression: a finding is silenced by a comment
 //
 //	//lint:ignore <analyzer> <reason>
 //
 // on the flagged line or the line directly above it. The reason is
 // mandatory — a bare ignore does not suppress — so every deliberate
-// exception documents itself.
+// exception documents itself. A directive that suppresses nothing is
+// itself reported (analyzer name "staleignore") with a fix that deletes
+// it: dead suppressions otherwise outlive the finding they excused and
+// silently blind the next occurrence.
 package lint
 
 import (
+	"go/token"
 	"sort"
 	"strings"
 
 	"repro/internal/lint/analysis"
+	"repro/internal/lint/callgraph"
+	"repro/internal/lint/ctxflow"
 	"repro/internal/lint/detrange"
+	"repro/internal/lint/errflow"
 	"repro/internal/lint/floatcmp"
+	"repro/internal/lint/hotalloc"
 	"repro/internal/lint/load"
+	"repro/internal/lint/lockheld"
 	"repro/internal/lint/nilsafe"
 	"repro/internal/lint/noclock"
 	"repro/internal/lint/parpolicy"
 )
+
+// StaleIgnore is the pseudo-analyzer stale-suppression findings are
+// attributed to. Its Run is a no-op: the detection lives in RunSuite,
+// which sees every directive and every suppression hit; the analyzer
+// exists so the findings have a name that -list documents and that a
+// //lint:ignore directive can itself name.
+var StaleIgnore = &analysis.Analyzer{
+	Name: "staleignore",
+	Doc:  "flags //lint:ignore directives that suppress no finding; a dead suppression blinds the next real occurrence on that line",
+	Run:  func(*analysis.Pass) error { return nil },
+}
 
 // Rule binds an analyzer to the set of packages it polices.
 type Rule struct {
@@ -71,6 +99,17 @@ func matchAny(pats []string, path string) bool {
 //     cmd as in the solver.
 //   - nilsafe enforces the obsv handle contract (every exported method on a
 //     nil handle is a no-op), so it runs only there.
+//   - ctxflow polices the serving path's cancellation contract everywhere
+//     except the reporting set (whose blocking prints are the product, not
+//     a hazard) and internal/par, whose bounded joins are cancelled at the
+//     granularity of the step that invoked them (see callgraph.DefaultBounded).
+//   - lockheld applies everywhere: a critical section that blocks is wrong
+//     in a cmd exactly as in the solver.
+//   - hotalloc polices only the packages place.Step's loop actually runs
+//     through; allocation elsewhere is none of its business.
+//   - errflow applies everywhere: a dropped error hides a failure path
+//     regardless of the package.
+//   - staleignore applies everywhere a directive can appear.
 func Rules() []Rule {
 	reporting := []string{
 		"repro/internal/obsv",
@@ -78,57 +117,183 @@ func Rules() []Rule {
 		"repro/cmd/...",
 		"repro/examples/...",
 	}
+	ctxExempt := append(append([]string(nil), reporting...), "repro/internal/par")
+	engine := []string{
+		"repro/internal/place",
+		"repro/internal/density",
+		"repro/internal/fft",
+		"repro/internal/sparse",
+		"repro/internal/qp",
+		"repro/internal/geom",
+		"repro/internal/netlist",
+		"repro/internal/par",
+	}
 	return []Rule{
 		{Analyzer: detrange.Analyzer, Exempt: reporting},
 		{Analyzer: noclock.Analyzer, Exempt: reporting},
 		{Analyzer: parpolicy.Analyzer, Exempt: []string{"repro/internal/par"}},
 		{Analyzer: floatcmp.Analyzer},
 		{Analyzer: nilsafe.Analyzer, Only: []string{"repro/internal/obsv"}},
+		{Analyzer: ctxflow.Analyzer, Exempt: ctxExempt},
+		{Analyzer: lockheld.Analyzer},
+		{Analyzer: hotalloc.Analyzer, Only: engine},
+		{Analyzer: errflow.Analyzer},
+		{Analyzer: StaleIgnore},
+	}
+}
+
+// GraphConfig is the repo's interprocedural root set: cancellation enters
+// through place.Run (and the Global wrappers); the hot loop is everything
+// place.Step reaches. Serve handlers are roots automatically by shape.
+//
+// Cold declares the sanctioned construction layer — functions Step can
+// reach only on a cache miss or topology change, where allocation is the
+// point (building FFT twiddle tables, assembling a fresh sparsity
+// pattern) and amortizes to zero in steady state. The Hot mark stops
+// there instead of indicting every make in a constructor.
+func GraphConfig() callgraph.Config {
+	return callgraph.Config{
+		CtxRoots: []string{
+			"(*repro/internal/place.Placer).Run",
+			"repro/internal/place.Global",
+			"repro/internal/place.GlobalContext",
+		},
+		HotRoots: []string{
+			"(*repro/internal/place.Placer).Step",
+		},
+		Bounded: callgraph.DefaultBounded,
+		Cold: []string{
+			// Field-solver cache miss: plan + kernel-spectrum construction,
+			// guarded by the pw/ph topology check in fieldSolver.
+			"(*repro/internal/density.Grid).fieldSolver",
+			// Baseline comparison paths, kept deliberately allocation-heavy
+			// (NoCache / Direct method) so the cached path has a reference.
+			"repro/internal/density.computeFFTCold",
+			"repro/internal/density.computeDirect",
+			// Twiddle/bit-reversal table construction, amortized globally
+			// through tableCache.
+			"repro/internal/fft.NewPlan",
+			// Symbolic rebuild on topology change; steady state replays the
+			// numeric refill through the cached pattern instead. qp.Build is
+			// the uncached one-shot assembly behind the NoReuse baseline flag.
+			"(*repro/internal/qp.Assembler).rebuild",
+			"repro/internal/qp.Build",
+			// Optional IC0 factorization: its triangular solve construction
+			// dwarfs the allocations, and Jacobi is the steady-state default.
+			"repro/internal/sparse.newIC0",
+		},
 	}
 }
 
 // Finding is one unsuppressed diagnostic with a resolved position.
 type Finding struct {
-	Analyzer string
-	File     string
-	Line     int
-	Col      int
-	Message  string
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+	// Fixes carries the analyzer's suggested fixes, if any. ApplyFixes
+	// applies the first one.
+	Fixes []analysis.SuggestedFix `json:"-"`
 }
 
-// Run applies the analyzers to one loaded package, filters suppressed
-// diagnostics, and returns the findings sorted by position.
-func Run(pkg *load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
-	sup := collectIgnores(pkg)
-	var out []Finding
-	for _, a := range analyzers {
-		pass := &analysis.Pass{
-			Analyzer:  a,
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.Info,
+// Options adjusts a RunSuite call.
+type Options struct {
+	// Graph overrides the interprocedural root set; nil means GraphConfig().
+	Graph *callgraph.Config
+	// NoFacts skips the whole-program fact phase. Analyzers that declare
+	// NeedsFacts then see a nil store and stay silent.
+	NoFacts bool
+	// CheckStale reports //lint:ignore directives that suppressed nothing.
+	CheckStale bool
+}
+
+// Result is the outcome of one suite run.
+type Result struct {
+	Findings []Finding
+	// Fset resolves the positions inside Findings (one shared FileSet
+	// spans every loaded package), which ApplyFixes needs.
+	Fset *token.FileSet
+}
+
+// RunSuite applies the rule set to the loaded packages: one whole-program
+// fact phase (package summaries in dependency order, MayBlock fixpoint,
+// reachability marks), then the reporting analyzers per package, then
+// stale-suppression detection over the accumulated directive hits.
+func RunSuite(pkgs []*load.Package, rules []Rule, opts Options) (*Result, error) {
+	if len(pkgs) == 0 {
+		return &Result{}, nil
+	}
+	res := &Result{Fset: pkgs[0].Fset}
+
+	var store *callgraph.Store
+	if !opts.NoFacts && anyNeedsFacts(rules) {
+		cfg := GraphConfig()
+		if opts.Graph != nil {
+			cfg = *opts.Graph
 		}
-		name := a.Name
-		pass.Report = func(d analysis.Diagnostic) {
-			pos := pkg.Fset.Position(d.Pos)
-			if sup.suppressed(pos.Filename, pos.Line, name) {
-				return
+		store = callgraph.NewStore()
+		callgraph.Analyze(pkgs, store, cfg)
+	}
+
+	ix := collectIgnores(pkgs)
+	for _, pkg := range pkgs {
+		for _, r := range rules {
+			if !r.AppliesTo(pkg.ImportPath) {
+				continue
 			}
-			out = append(out, Finding{
-				Analyzer: name,
-				File:     pos.Filename,
-				Line:     pos.Line,
-				Col:      pos.Column,
-				Message:  d.Message,
-			})
-		}
-		if err := a.Run(pass); err != nil {
-			return nil, err
+			a := r.Analyzer
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			if store != nil {
+				pass.Facts = store
+			}
+			name := a.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if ix.suppressed(pos.Filename, pos.Line, name, nil) {
+					return
+				}
+				res.Findings = append(res.Findings, Finding{
+					Analyzer: name,
+					File:     pos.Filename,
+					Line:     pos.Line,
+					Col:      pos.Column,
+					Message:  d.Message,
+					Fixes:    d.SuggestedFixes,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+
+	if opts.CheckStale {
+		res.Findings = append(res.Findings, ix.stale()...)
+	}
+
+	sortFindings(res.Findings)
+	return res, nil
+}
+
+func anyNeedsFacts(rules []Rule) bool {
+	for _, r := range rules {
+		if r.Analyzer.NeedsFacts {
+			return true
+		}
+	}
+	return false
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
 		if a.File != b.File {
 			return a.File < b.File
 		}
@@ -140,56 +305,136 @@ func Run(pkg *load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out, nil
 }
 
-// ignoreSet records, per file and line, the analyzer names ignored there.
-type ignoreSet map[string]map[int][]string
+// directive is one parsed //lint:ignore comment and its usage count.
+type directive struct {
+	names    []string
+	file     string
+	line     int
+	col      int
+	pos, end token.Pos // the comment's span, for the deletion fix
+	hits     int
+}
+
+// ignoreIndex locates directives by file and line and remembers every one
+// for the stale sweep.
+type ignoreIndex struct {
+	at  map[string]map[int][]*directive
+	all []*directive
+}
 
 // suppressed reports whether analyzer name is ignored at file:line, by a
-// directive on the line itself or the line directly above.
-func (s ignoreSet) suppressed(file string, line int, name string) bool {
-	lines := s[file]
+// directive on the line itself or the line directly above, and counts the
+// hit. self, when non-nil, is excluded — a directive cannot vouch for its
+// own staleness finding.
+func (ix *ignoreIndex) suppressed(file string, line int, name string, self *directive) bool {
+	lines := ix.at[file]
 	for _, l := range []int{line, line - 1} {
-		for _, n := range lines[l] {
-			if n == name || n == "all" {
-				return true
+		for _, d := range lines[l] {
+			if d == self {
+				continue
+			}
+			for _, n := range d.names {
+				if n == name || n == "all" {
+					d.hits++
+					return true
+				}
 			}
 		}
 	}
 	return false
 }
 
-// collectIgnores scans every comment of the package for lint:ignore
+// stale reports directives with zero hits. Two phases: first every
+// zero-hit candidate's would-be finding runs through normal suppression
+// (so a reasoned //lint:ignore staleignore above a deliberately kept
+// directive both silences the finding and earns its own hit), then the
+// survivors are re-checked — a candidate that picked up a hit while
+// vouching for another is live after all.
+func (ix *ignoreIndex) stale() []Finding {
+	var candidates []*directive
+	for _, d := range ix.all {
+		if d.hits == 0 {
+			candidates = append(candidates, d)
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		a, b := candidates[i], candidates[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		return a.line < b.line
+	})
+	type tentative struct {
+		d *directive
+		f Finding
+	}
+	var kept []tentative
+	for _, d := range candidates {
+		if ix.suppressed(d.file, d.line, StaleIgnore.Name, d) {
+			continue
+		}
+		kept = append(kept, tentative{d, Finding{
+			Analyzer: StaleIgnore.Name,
+			File:     d.file,
+			Line:     d.line,
+			Col:      d.col,
+			Message:  "//lint:ignore " + strings.Join(d.names, ",") + " suppresses no finding; delete the stale directive",
+			Fixes: []analysis.SuggestedFix{{
+				Message:   "delete the stale directive",
+				TextEdits: []analysis.TextEdit{{Pos: d.pos, End: d.end, NewText: ""}},
+			}},
+		}})
+	}
+	var out []Finding
+	for _, t := range kept {
+		if t.d.hits == 0 {
+			out = append(out, t.f)
+		}
+	}
+	return out
+}
+
+// collectIgnores scans every comment of every package for lint:ignore
 // directives. A directive needs an analyzer name (or comma-separated
 // names, or "all") followed by a non-empty reason.
-func collectIgnores(pkg *load.Package) ignoreSet {
-	s := make(ignoreSet)
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-				rest, ok := strings.CutPrefix(text, "lint:ignore")
-				if !ok {
-					continue
-				}
-				fields := strings.Fields(rest)
-				if len(fields) < 2 {
-					continue // no reason given: directive is inert
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				lines := s[pos.Filename]
-				if lines == nil {
-					lines = make(map[int][]string)
-					s[pos.Filename] = lines
-				}
-				for _, n := range strings.Split(fields[0], ",") {
-					lines[pos.Line] = append(lines[pos.Line], n)
+func collectIgnores(pkgs []*load.Package) *ignoreIndex {
+	ix := &ignoreIndex{at: make(map[string]map[int][]*directive)}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					rest, ok := strings.CutPrefix(text, "lint:ignore")
+					if !ok {
+						continue
+					}
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						continue // no reason given: directive is inert
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					d := &directive{
+						names: strings.Split(fields[0], ","),
+						file:  pos.Filename,
+						line:  pos.Line,
+						col:   pos.Column,
+						pos:   c.Pos(),
+						end:   c.End(),
+					}
+					lines := ix.at[d.file]
+					if lines == nil {
+						lines = make(map[int][]*directive)
+						ix.at[d.file] = lines
+					}
+					lines[d.line] = append(lines[d.line], d)
+					ix.all = append(ix.all, d)
 				}
 			}
 		}
 	}
-	return s
+	return ix
 }
 
 // Analyzers returns every analyzer in the suite, for drivers that want to

@@ -1,0 +1,26 @@
+// Package stale is the fixture for stale-suppression detection: one
+// directive that earns its keep, one that suppresses nothing, and one
+// deliberately retained under a reasoned staleignore directive.
+package stale
+
+// live: the directive below suppresses a real floatcmp finding.
+func live(a, b float64) bool {
+	//lint:ignore floatcmp the caller quantized both operands to the same grid
+	return a == b
+}
+
+// dead: integer comparison never triggers floatcmp, so the directive is
+// stale and must be reported.
+func dead(a, b int) bool {
+	//lint:ignore floatcmp nothing here compares floats
+	return a == b
+}
+
+// kept: the floatcmp directive is stale too, but the staleignore
+// directive above it vouches for keeping it — and thereby earns its own
+// hit, so neither is reported.
+func kept(a, b int) bool {
+	//lint:ignore staleignore retained to document the historical exception
+	//lint:ignore floatcmp nothing here compares floats either
+	return a == b
+}

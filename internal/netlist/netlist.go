@@ -257,7 +257,17 @@ type Placement []geom.Point
 
 // Snapshot captures the current cell positions.
 func (nl *Netlist) Snapshot() Placement {
-	p := make(Placement, len(nl.Cells))
+	return nl.SnapshotInto(nil)
+}
+
+// SnapshotInto fills p with the current cell positions, reallocating only
+// when the length differs, and returns the (possibly new) slice. Hot-path
+// callers pass the previous snapshot back in so steady-state iterations
+// allocate nothing.
+func (nl *Netlist) SnapshotInto(p Placement) Placement {
+	if len(p) != len(nl.Cells) {
+		p = make(Placement, len(nl.Cells))
+	}
 	for i := range nl.Cells {
 		p[i] = nl.Cells[i].Pos
 	}

@@ -268,6 +268,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	for name, h := range r.histograms {
 		fam, labels := splitName(name)
+		//lint:ignore lockheld fixed registry→histogram lock order, and snapshot is an O(buckets) copy with no I/O; nothing can deadlock or stall
 		uppers, cum, sum, total := h.snapshot()
 		var sb strings.Builder
 		for i, up := range uppers {
@@ -337,6 +338,7 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 		out.Gauges[name] = g.Value()
 	}
 	for name, h := range r.histograms {
+		//lint:ignore lockheld same fixed registry→histogram lock order as WritePrometheus; snapshot is a bounded copy
 		uppers, cum, sum, total := h.snapshot()
 		buckets := make(map[string]int64, len(uppers)+1)
 		for i, up := range uppers {

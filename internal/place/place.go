@@ -268,6 +268,12 @@ type Placer struct {
 	// warmDX/warmDY hold the previous transformation's displacement
 	// response, the CG starting guess of the next one.
 	warmDX, warmDY []float64
+	// Step scratch, reused across transformations so the steady-state
+	// iteration allocates nothing: the force increment, the pre-solve
+	// position snapshot, and capDelta's displacement sort buffers.
+	inc      []geom.Point
+	before   netlist.Placement
+	dxs, dys []float64
 
 	// rs is the Run loop's progress state. It lives on the Placer (rather
 	// than in Run's frame) so Checkpoint can capture it and Resume can
@@ -478,7 +484,13 @@ func (p *Placer) Step() (IterStats, error) {
 	if maxMag > 0 {
 		scale = atten * targetMax / maxMag
 	}
-	inc := make([]geom.Point, len(nl.Cells))
+	if len(p.inc) != len(nl.Cells) {
+		p.inc = make([]geom.Point, len(nl.Cells))
+	}
+	inc := p.inc
+	for ci := range inc {
+		inc[ci] = geom.Point{}
+	}
 	floor := cfg.ForceFloor * maxMag
 	for ci := range nl.Cells {
 		if nl.Cells[ci].Fixed {
@@ -520,7 +532,8 @@ func (p *Placer) Step() (IterStats, error) {
 	// between transformations, so the previous transformation's displacement
 	// response is a good CG starting guess for this one; SolveDeltaFrom
 	// overwrites the guess with the new response, priming the next iteration.
-	before := nl.Snapshot()
+	p.before = nl.SnapshotInto(p.before)
+	before := p.before
 	var res qp.SolveResult
 	var err error
 	if cfg.NoWarmStart {
@@ -542,7 +555,7 @@ func (p *Placer) Step() (IterStats, error) {
 	// otherwise throw the whole design across the chip in one step; on
 	// strongly non-square regions the short axis needs its own bound.
 	kCap := math.Min(cfg.K, 0.45)
-	capDelta(nl, before, kCap*nl.Region.W(), kCap*nl.Region.H())
+	p.dxs, p.dys = capDelta(nl, before, kCap*nl.Region.W(), kCap*nl.Region.H(), p.dxs, p.dys)
 	if err != nil {
 		// An unconverged CG still yields a usable iterate; report but
 		// continue (placement quality, not solver perfection, is the goal).
@@ -611,18 +624,32 @@ func (p *Placer) Step() (IterStats, error) {
 // differential components are clipped per cell, so an outlier cannot crush
 // everyone else's movement and a saturated translation cannot erase the
 // spreading.
-func capDelta(nl *netlist.Netlist, before netlist.Placement, maxDX, maxDY float64) {
-	var dxs, dys []float64
+// The caller passes (and re-receives) the two sort buffers so the
+// steady-state iteration reuses them instead of allocating per call.
+func capDelta(nl *netlist.Netlist, before netlist.Placement, maxDX, maxDY float64, dxs, dys []float64) ([]float64, []float64) {
+	movable := 0
+	for ci := range nl.Cells {
+		if !nl.Cells[ci].Fixed {
+			movable++
+		}
+	}
+	if cap(dxs) < movable {
+		dxs = make([]float64, movable)
+		dys = make([]float64, movable)
+	}
+	dxs, dys = dxs[:movable], dys[:movable]
+	k := 0
 	for ci := range nl.Cells {
 		if nl.Cells[ci].Fixed {
 			continue
 		}
 		d := nl.Cells[ci].Pos.Sub(before[ci])
-		dxs = append(dxs, d.X)
-		dys = append(dys, d.Y)
+		dxs[k] = d.X
+		dys[k] = d.Y
+		k++
 	}
 	if len(dxs) == 0 {
-		return
+		return dxs, dys
 	}
 	// The translation estimate must be robust: a single near-floating cell
 	// (tiny anchor stiffness) can have a displacement many orders of
@@ -632,15 +659,6 @@ func capDelta(nl *netlist.Netlist, before netlist.Placement, maxDX, maxDY float6
 	sort.Float64s(dys)
 	med := geom.Point{X: dxs[len(dxs)/2], Y: dys[len(dys)/2]}
 
-	clip := func(v, lim float64) float64 {
-		if v > lim {
-			return lim
-		}
-		if v < -lim {
-			return -lim
-		}
-		return v
-	}
 	shift := geom.Point{X: clip(med.X, maxDX), Y: clip(med.Y, maxDY)}
 	for ci := range nl.Cells {
 		if nl.Cells[ci].Fixed {
@@ -652,6 +670,18 @@ func capDelta(nl *netlist.Netlist, before netlist.Placement, maxDX, maxDY float6
 			Y: before[ci].Y + shift.Y + clip(d.Y, maxDY),
 		}
 	}
+	return dxs, dys
+}
+
+// clip bounds v to [-lim, lim].
+func clip(v, lim float64) float64 {
+	if v > lim {
+		return lim
+	}
+	if v < -lim {
+		return -lim
+	}
+	return v
 }
 
 // meanStiffness returns the average diagonal of C over movable cells — the

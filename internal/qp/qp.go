@@ -61,6 +61,10 @@ type System struct {
 	C      *sparse.CSR
 	Dx, Dy []float64
 
+	// bx/by are SolveDeltaFrom's right-hand-side scratch, reused across
+	// transformations so the steady-state solve allocates nothing.
+	bx, by []float64
+
 	opts Options
 }
 
@@ -311,6 +315,7 @@ func solveBoth(c *sparse.CSR, x, bx, y, by []float64, opt sparse.CGOptions, out 
 // small forces still move cells even when the absolute system is large.
 func (s *System) SolveDelta(forces []geom.Point, opt sparse.CGOptions) (SolveResult, error) {
 	n := s.N()
+	//lint:ignore hotalloc zero-guess entry point (NoWarmStart baseline); the steady-state path is SolveDeltaFrom with caller-reused guesses
 	return s.SolveDeltaFrom(forces, make([]float64, n), make([]float64, n), opt)
 }
 
@@ -328,12 +333,18 @@ func (s *System) SolveDeltaFrom(forces []geom.Point, dx0, dy0 []float64, opt spa
 	if len(dx0) != n || len(dy0) != n {
 		panic("qp: SolveDeltaFrom guess length mismatch")
 	}
-	bx := make([]float64, n)
-	by := make([]float64, n)
+	if len(s.bx) != n {
+		s.bx = make([]float64, n)
+		s.by = make([]float64, n)
+	}
+	bx, by := s.bx, s.by
 	for vi, ci := range s.CellOf {
 		if forces != nil {
 			bx[vi] = forces[ci].X
 			by[vi] = forces[ci].Y
+		} else {
+			bx[vi] = 0
+			by[vi] = 0
 		}
 	}
 	var out SolveResult

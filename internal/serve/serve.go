@@ -344,12 +344,12 @@ func (s *Server) runJob(j *Job, deadline time.Duration) {
 	s.met.jobSeconds.Observe(sw.Elapsed().Seconds())
 
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	j.status.FinishedAt = s.now()
 	j.status.Iterations = res.Iterations
 	j.status.HPWL = res.HPWL
 	j.status.Overflow = res.Overflow
 	j.status.StopReason = res.StopReason
+	needCkpt := false
 	switch {
 	case err != nil:
 		j.status.State = StateFailed
@@ -358,14 +358,7 @@ func (s *Server) runJob(j *Job, deadline time.Duration) {
 	case res.StopReason == place.StopCancelled:
 		j.status.State = StateCancelled
 		s.met.cancelled.Inc()
-		if j.drain && s.cfg.CheckpointDir != "" {
-			path, werr := s.writeCheckpoint(j.id, placer)
-			if werr != nil {
-				j.status.Error = werr.Error()
-			} else {
-				j.status.Checkpoint = path
-			}
-		}
+		needCkpt = j.drain && s.cfg.CheckpointDir != ""
 	default:
 		// Deadline partials are successes: the best placement so far is
 		// a valid result, distinguished only by StopReason.
@@ -375,9 +368,27 @@ func (s *Server) runJob(j *Job, deadline time.Duration) {
 			s.met.deadlined.Inc()
 		}
 	}
+	j.mu.Unlock()
+
+	// The checkpoint write happens outside the status lock: the placer is
+	// exclusively ours once Run returned, and a Status reader should never
+	// wait on disk I/O. The checkpoint path lands in the status as soon as
+	// the file is durable.
+	if needCkpt {
+		path, werr := s.writeCheckpoint(j.id, placer)
+		j.mu.Lock()
+		if werr != nil {
+			j.status.Error = werr.Error()
+		} else {
+			j.status.Checkpoint = path
+		}
+		j.mu.Unlock()
+	}
 }
 
 // writeCheckpoint serializes a drained job's placer state.
+//
+//lint:ignore ctxflow drain-path checkpoint: the job's context is already cancelled here, and the write must finish to be worth anything
 func (s *Server) writeCheckpoint(id string, p *place.Placer) (string, error) {
 	path := filepath.Join(s.cfg.CheckpointDir, id+".ckpt")
 	f, err := os.Create(path)
@@ -430,19 +441,25 @@ type Health struct {
 
 // Health returns the current service health.
 func (s *Server) Health() Health {
+	// Snapshot the job set under s.mu, then count states under each j.mu
+	// after releasing it: taking a job lock inside the server lock would
+	// stall every Submit/Job call behind the slowest status holder.
 	s.mu.Lock()
 	draining := s.draining
-	running := 0
 	total := len(s.jobs)
+	jobs := make([]*Job, 0, len(s.order))
 	for _, id := range s.order {
-		j := s.jobs[id]
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	running := 0
+	for _, j := range jobs {
 		j.mu.Lock()
 		if j.status.State == StateRunning {
 			running++
 		}
 		j.mu.Unlock()
 	}
-	s.mu.Unlock()
 	h := Health{
 		Status:   "ok",
 		Workers:  s.cfg.Workers,
