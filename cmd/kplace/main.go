@@ -134,6 +134,10 @@ func main() {
 			Spans: spans, Metrics: reg,
 		}
 		if trace != nil {
+			// The trace file opens with a self-describing meta record:
+			// design size, seed, config hash — the context a bare stream
+			// of iteration stats loses the moment the command line is gone.
+			_ = trace.Write(place.NewRunMeta(nl, cfg, *seed, start))
 			cfg.OnIteration = func(s place.IterStats) { _ = trace.Write(s) }
 		}
 		if *doTime {

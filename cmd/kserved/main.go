@@ -5,17 +5,23 @@
 // in-flight jobs for later resumption.
 //
 //	kserved [-addr :8437] [-workers N] [-queue 16] [-deadline 0]
-//	        [-checkpoint-dir DIR]
+//	        [-checkpoint-dir DIR] [-slo 0] [-flight-cap 32]
+//	        [-profile-on-breach 0]
 //
 // Endpoints:
 //
-//	POST /jobs              submit {"netlist": "...", "k", "max_iter", "deadline_ms"}
-//	GET  /jobs              list job statuses
-//	GET  /jobs/{id}         one job's status
-//	GET  /jobs/{id}/result  placed netlist (text interchange format)
-//	POST /jobs/{id}/cancel  cancel a job
-//	GET  /healthz           service health
-//	GET  /metrics           Prometheus text metrics
+//	POST /jobs                   submit {"netlist": "...", "k", "max_iter", "deadline_ms"};
+//	                             honors/returns W3C traceparent
+//	GET  /jobs                   list job statuses
+//	GET  /jobs/{id}              one job's status
+//	GET  /jobs/{id}/result       placed netlist (text interchange format)
+//	GET  /jobs/{id}/events       live per-iteration convergence (SSE; ?poll=1 long-poll)
+//	GET  /jobs/{id}/trace        the job's span tree (accept → queue → run → phases)
+//	POST /jobs/{id}/cancel       cancel a job
+//	GET  /healthz                service health (queue depth, active workers, drain state)
+//	GET  /metrics                Prometheus text metrics (with p50/p95/p99 gauges)
+//	GET  /debug/flightrecorder   recent anomaly bundles (panic, deadline miss,
+//	                             rejection burst, SLO breach)
 package main
 
 import (
@@ -45,6 +51,9 @@ func main() {
 		deadline = flag.Duration("deadline", 0, "default per-job deadline (0 = none); expiry returns the best placement so far")
 		ckptDir  = flag.String("checkpoint-dir", "", "write <job>.ckpt snapshots for jobs drained by shutdown")
 		grace    = flag.Duration("grace", 30*time.Second, "shutdown drain budget")
+		slo      = flag.Duration("slo", 0, "per-job run-time objective; breaches record a flight-recorder bundle (0 = off)")
+		flightN  = flag.Int("flight-cap", 32, "flight-recorder ring capacity (negative disables)")
+		profDur  = flag.Duration("profile-on-breach", 0, "CPU profile duration captured into the flight bundle on SLO breach (0 = off)")
 	)
 	flag.Parse()
 
@@ -55,12 +64,15 @@ func main() {
 	}
 	reg := obsv.NewRegistry()
 	s := serve.New(serve.Config{
-		Workers:         *workers,
-		QueueDepth:      *queue,
-		DefaultDeadline: *deadline,
-		CheckpointDir:   *ckptDir,
-		Metrics:         reg,
-		Now:             time.Now,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		DefaultDeadline:   *deadline,
+		CheckpointDir:     *ckptDir,
+		Metrics:           reg,
+		Now:               time.Now,
+		SLO:               *slo,
+		FlightRecorderCap: *flightN,
+		ProfileOnBreach:   *profDur,
 	})
 
 	hs := &http.Server{Addr: *addr, Handler: s.Handler()}

@@ -54,7 +54,7 @@ func RunAblation(opts Options, circuit string) ([]AblationRow, error) {
 	for _, v := range variants {
 		nl := base.Clone()
 		start := time.Now()
-		res, err := place.Global(nl, opts.placeCfg(v.cfg, base.Name))
+		res, err := place.Global(nl, opts.placeCfg(v.cfg, nl))
 		if err != nil {
 			return rows, fmt.Errorf("bench: ablation %q: %w", v.name, err)
 		}

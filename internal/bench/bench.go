@@ -79,16 +79,32 @@ type traceRec struct {
 	place.IterStats
 }
 
+// traceMetaRec is the run-metadata header line written before a run's
+// iteration records; the embedded RunMeta carries "type":"meta" so
+// line-oriented consumers can split the stream into self-described runs.
+type traceMetaRec struct {
+	Circuit string `json:"circuit"`
+	Engine  string `json:"engine"`
+	place.RunMeta
+}
+
 // placeCfg threads the harness's observability options into a Kraftwerk
-// config. Result.Trace retention is always suppressed — the harness only
-// reads run aggregates, and at -scale 1 the O(iterations) stats of nine
+// config for a run on nl, writing the run-metadata header when tracing.
+// Result.Trace retention is always suppressed — the harness only reads
+// run aggregates, and at -scale 1 the O(iterations) stats of nine
 // circuits are pure ballast.
-func (o *Options) placeCfg(cfg place.Config, circuit string) place.Config {
+func (o *Options) placeCfg(cfg place.Config, nl *netlist.Netlist) place.Config {
 	cfg.NoTrace = true
 	cfg.Metrics = o.Metrics
 	if o.Trace != nil {
-		prev := cfg.OnIteration
 		trace := o.Trace
+		_ = trace.Write(traceMetaRec{
+			Circuit: nl.Name,
+			Engine:  "kraftwerk",
+			RunMeta: place.NewRunMeta(nl, cfg, o.Seed, time.Now()),
+		})
+		circuit := nl.Name
+		prev := cfg.OnIteration
 		cfg.OnIteration = func(s place.IterStats) {
 			if prev != nil {
 				prev(s)
@@ -183,7 +199,7 @@ func runGordian(base *netlist.Netlist, cfg gordian.Config) EngineRun {
 func runKraftwerk(o *Options, base *netlist.Netlist, cfg place.Config) EngineRun {
 	nl := base.Clone()
 	start := time.Now()
-	if _, err := place.Global(nl, o.placeCfg(cfg, base.Name)); err != nil {
+	if _, err := place.Global(nl, o.placeCfg(cfg, nl)); err != nil {
 		return EngineRun{}
 	}
 	finish(nl)

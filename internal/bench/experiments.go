@@ -103,7 +103,7 @@ func RunTradeoff(opts Options, circuit string, fraction float64) (TradeoffResult
 
 	// Probe the unoptimized delay to set a requirement.
 	probe := nl.Clone()
-	if _, err := place.Global(probe, opts.placeCfg(place.Config{}, circuit)); err != nil {
+	if _, err := place.Global(probe, opts.placeCfg(place.Config{}, probe)); err != nil {
 		return TradeoffResult{}, err
 	}
 	unopt := timing.NewAnalyzer(probe, params).Analyze().MaxDelay
@@ -111,7 +111,7 @@ func RunTradeoff(opts Options, circuit string, fraction float64) (TradeoffResult
 	req := unopt - fraction*(unopt-lb)
 
 	start := time.Now()
-	res, err := timing.MeetRequirement(nl, opts.placeCfg(place.Config{}, circuit), params, req, 0)
+	res, err := timing.MeetRequirement(nl, opts.placeCfg(place.Config{}, nl), params, req, 0)
 	if err != nil {
 		return TradeoffResult{}, err
 	}

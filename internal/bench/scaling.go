@@ -38,7 +38,7 @@ func RunScaling(opts Options, sizes []int) []ScaleRow {
 			Seed:  opts.Seed,
 		})
 		start := time.Now()
-		res, err := place.Global(nl, opts.placeCfg(place.Config{}, nl.Name))
+		res, err := place.Global(nl, opts.placeCfg(place.Config{}, nl))
 		if err != nil {
 			continue
 		}

@@ -31,7 +31,13 @@ type ServeRun struct {
 	// RunMeanSec is started-to-terminal per job: pure placement time,
 	// which exposes per-job slowdown from core contention.
 	RunMeanSec float64 `json:"run_mean_seconds"`
-	Failed     int     `json:"failed"`
+	// QueueWaitMeanSec/QueueWaitMaxSec split the latency's other half out:
+	// submit-to-started per job. LatMean ≈ QueueWaitMean + RunMean, so
+	// this is the attribution that tells scheduling problems (long waits)
+	// apart from contention problems (long runs).
+	QueueWaitMeanSec float64 `json:"queue_wait_mean_seconds"`
+	QueueWaitMaxSec  float64 `json:"queue_wait_max_seconds"`
+	Failed           int     `json:"failed"`
 }
 
 // ServeBench is the BENCH_serve.json document: throughput and latency of
@@ -122,7 +128,7 @@ func runServe(o *Options, batch []*netlist.Netlist, maxIter, workers int) ServeR
 
 	r := ServeRun{Workers: workers, WallSec: wall.Seconds()}
 	lat := make([]float64, 0, len(handles))
-	var latSum, runSum float64
+	var latSum, runSum, waitSum, waitMax float64
 	for _, j := range handles {
 		st := j.Status()
 		if st.State == serve.StateFailed {
@@ -133,6 +139,11 @@ func runServe(o *Options, batch []*netlist.Netlist, maxIter, workers int) ServeR
 		lat = append(lat, l)
 		latSum += l
 		runSum += st.FinishedAt.Sub(st.StartedAt).Seconds()
+		wq := st.StartedAt.Sub(st.SubmittedAt).Seconds()
+		waitSum += wq
+		if wq > waitMax {
+			waitMax = wq
+		}
 	}
 	if len(lat) > 0 {
 		sort.Float64s(lat)
@@ -141,6 +152,8 @@ func runServe(o *Options, batch []*netlist.Netlist, maxIter, workers int) ServeR
 		r.LatP50Sec = lat[len(lat)/2]
 		r.LatMaxSec = lat[len(lat)-1]
 		r.RunMeanSec = runSum / float64(len(lat))
+		r.QueueWaitMeanSec = waitSum / float64(len(lat))
+		r.QueueWaitMaxSec = waitMax
 	}
 	return r
 }
@@ -156,12 +169,12 @@ func WriteServeBench(w io.Writer, b ServeBench) error {
 func PrintServeBench(w io.Writer, b ServeBench) {
 	fmt.Fprintf(w, "E12: placement service throughput (%d jobs x %d cells, max %d iters, gomaxprocs %d, seed %d)\n",
 		b.Jobs, b.Cells, b.MaxIter, b.GOMAXPROCS, b.Seed)
-	fmt.Fprintf(w, "%-12s | %8s %8s | %9s %9s %9s | %9s\n",
-		"mode", "wall[s]", "jobs/s", "lat-mean", "lat-p50", "lat-max", "run-mean")
+	fmt.Fprintf(w, "%-12s | %8s %8s | %9s %9s %9s | %9s %9s\n",
+		"mode", "wall[s]", "jobs/s", "lat-mean", "lat-p50", "lat-max", "wait-mean", "run-mean")
 	row := func(name string, r ServeRun) {
-		fmt.Fprintf(w, "%-12s | %8.2f %8.2f | %8.2fs %8.2fs %8.2fs | %8.2fs\n",
+		fmt.Fprintf(w, "%-12s | %8.2f %8.2f | %8.2fs %8.2fs %8.2fs | %8.2fs %8.2fs\n",
 			fmt.Sprintf("%s (w=%d)", name, r.Workers), r.WallSec, r.Throughput,
-			r.LatMeanSec, r.LatP50Sec, r.LatMaxSec, r.RunMeanSec)
+			r.LatMeanSec, r.LatP50Sec, r.LatMaxSec, r.QueueWaitMeanSec, r.RunMeanSec)
 	}
 	row("sequential", b.Sequential)
 	row("concurrent", b.Concurrent)

@@ -106,7 +106,7 @@ func runStep(o *Options, base *netlist.Netlist, maxIter int, cold bool) StepRun 
 		MaxIter:     maxIter,
 		NoReuse:     cold,
 		NoWarmStart: cold,
-	}, nl.Name)
+	}, nl)
 	prev := cfg.OnIteration
 	cfg.OnIteration = func(s place.IterStats) {
 		cgIters += s.CGIterX + s.CGIterY

@@ -116,7 +116,7 @@ func runSpeed(base *netlist.Netlist, params timing.Params) TimingRun {
 func runOursTiming(o *Options, base *netlist.Netlist, params timing.Params) TimingRun {
 	// Without: plain Kraftwerk.
 	plain := base.Clone()
-	if _, err := place.Global(plain, o.placeCfg(place.Config{}, base.Name)); err != nil {
+	if _, err := place.Global(plain, o.placeCfg(place.Config{}, plain)); err != nil {
 		return TimingRun{}
 	}
 	finish(plain)
@@ -124,7 +124,7 @@ func runOursTiming(o *Options, base *netlist.Netlist, params timing.Params) Timi
 
 	nl := base.Clone()
 	start := time.Now()
-	if _, err := timing.PlaceDriven(nl, o.placeCfg(place.Config{}, base.Name), params, without); err != nil {
+	if _, err := timing.PlaceDriven(nl, o.placeCfg(place.Config{}, nl), params, without); err != nil {
 		return TimingRun{}
 	}
 	finish(nl)

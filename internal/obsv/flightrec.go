@@ -1,0 +1,168 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FlightEntry is one anomaly bundle captured by a FlightRecorder: the
+// job's span tree and recent iteration samples frozen at the moment
+// something went wrong, plus an optional CPU profile.
+type FlightEntry struct {
+	Time   time.Time `json:"time"`
+	Reason string    `json:"reason"` // "panic" | "deadline_miss" | "reject_burst" | "slo_breach" | ...
+	JobID  string    `json:"job_id,omitempty"`
+	// Detail carries reason-specific context (error text, SLO numbers,
+	// rejection counts). Must be JSON-encodable.
+	Detail any `json:"detail,omitempty"`
+	// Trace is the job's span tree snapshot at capture time.
+	Trace *SpanTree `json:"trace,omitempty"`
+	// Samples holds recent per-iteration progress events. Must be
+	// JSON-encodable.
+	Samples any `json:"samples,omitempty"`
+	// CPUProfile is a pprof CPU profile (protobuf, gzip) captured on
+	// breach; base64 in JSON dumps.
+	CPUProfile []byte `json:"cpu_profile,omitempty"`
+}
+
+// FlightRecorder keeps the last cap anomaly bundles in memory — a
+// black box to read after the fact instead of reproducing a failure
+// under a debugger. All methods are nil-safe; a nil recorder drops
+// everything.
+type FlightRecorder struct {
+	mu      sync.Mutex
+	entries []FlightEntry // ring; next is the write position
+	next    int
+	filled  bool
+	dropped int64
+
+	profiling atomic.Bool
+}
+
+// NewFlightRecorder builds a recorder holding the last cap entries
+// (cap < 1 is treated as 1).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &FlightRecorder{entries: make([]FlightEntry, 0, capacity)}
+}
+
+// Record stores one anomaly bundle, evicting the oldest when full.
+func (r *FlightRecorder) Record(e FlightEntry) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if len(r.entries) < cap(r.entries) {
+		r.entries = append(r.entries, e)
+	} else {
+		r.entries[r.next] = e
+		r.next = (r.next + 1) % cap(r.entries)
+		r.filled = true
+		r.dropped++
+	}
+	r.mu.Unlock()
+}
+
+// Len reports how many bundles are currently held.
+func (r *FlightRecorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+// Dropped reports how many bundles were evicted to make room.
+func (r *FlightRecorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Snapshot copies the held bundles, oldest first.
+func (r *FlightRecorder) Snapshot() []FlightEntry {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]FlightEntry, 0, len(r.entries))
+	if r.filled {
+		out = append(out, r.entries[r.next:]...)
+		out = append(out, r.entries[:r.next]...)
+	} else {
+		out = append(out, r.entries...)
+	}
+	return out
+}
+
+// flightDump is the JSON schema of a recorder dump.
+type flightDump struct {
+	Capacity int           `json:"capacity"`
+	Dropped  int64         `json:"dropped"`
+	Entries  []FlightEntry `json:"entries"`
+}
+
+// WriteJSON dumps the recorder state as one JSON document. Safe on nil
+// (writes an empty dump).
+func (r *FlightRecorder) WriteJSON(w io.Writer) error {
+	if r == nil {
+		return json.NewEncoder(w).Encode(flightDump{Entries: []FlightEntry{}})
+	}
+	entries := r.Snapshot()
+	r.mu.Lock()
+	d := flightDump{Capacity: cap(r.entries), Dropped: r.dropped, Entries: entries}
+	r.mu.Unlock()
+	if d.Entries == nil {
+		d.Entries = []FlightEntry{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(d)
+}
+
+// ServeHTTP exposes the dump (GET /debug/flightrecorder).
+func (r *FlightRecorder) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	if r == nil {
+		http.Error(w, "flight recorder disabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = r.WriteJSON(w)
+}
+
+// CaptureCPUProfile synchronously profiles the process for d and returns
+// the pprof bytes. At most one capture runs at a time — concurrent
+// breaches get nil instead of queueing behind each other — and the
+// caller eats the latency, which is the point: it runs on the breaching
+// job's goroutine, where the time is already lost.
+func (r *FlightRecorder) CaptureCPUProfile(d time.Duration) []byte {
+	if r == nil || d <= 0 {
+		return nil
+	}
+	if !r.profiling.CompareAndSwap(false, true) {
+		return nil
+	}
+	defer r.profiling.Store(false)
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		// Another profiler (e.g. net/http/pprof) already owns the CPU
+		// profile; the trace and samples still make a useful bundle.
+		return nil
+	}
+	time.Sleep(d)
+	pprof.StopCPUProfile()
+	return buf.Bytes()
+}

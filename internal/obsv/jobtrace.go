@@ -1,0 +1,322 @@
+package obsv
+
+import (
+	crand "crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TraceID is a W3C trace-context trace identifier (16 bytes).
+type TraceID [16]byte
+
+// SpanID is a W3C trace-context span identifier (8 bytes).
+type SpanID [8]byte
+
+// IsZero reports the invalid all-zero trace id.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// IsZero reports the invalid all-zero span id.
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+// String returns the 32-hex-digit encoding.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// String returns the 16-hex-digit encoding.
+func (id SpanID) String() string { return hex.EncodeToString(id[:]) }
+
+// NewTraceID draws a random trace id. Randomness here is identity, not
+// algorithm: placement results never depend on it.
+func NewTraceID() TraceID {
+	var id TraceID
+	fillRandom(id[:])
+	return id
+}
+
+// NewSpanID draws a random span id.
+func NewSpanID() SpanID {
+	var id SpanID
+	fillRandom(id[:])
+	return id
+}
+
+func fillRandom(b []byte) {
+	if _, err := crand.Read(b); err != nil {
+		// An unreadable entropy source should not take tracing down;
+		// a fixed fallback id is still a valid (if colliding) id.
+		for i := range b {
+			b[i] = byte(0xA5 ^ i)
+		}
+	}
+}
+
+// TraceParent is the parsed W3C `traceparent` header
+// (version-traceid-spanid-flags). The zero value means "no remote
+// parent": a trace built from it starts a fresh trace id.
+type TraceParent struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Flags   byte
+}
+
+// Valid reports whether the parent carries usable (non-zero) identifiers.
+func (tp TraceParent) Valid() bool { return !tp.TraceID.IsZero() && !tp.SpanID.IsZero() }
+
+// String renders the version-00 header form
+// (00-<32 hex>-<16 hex>-<2 hex>).
+func (tp TraceParent) String() string {
+	var sb strings.Builder
+	sb.Grow(55)
+	sb.WriteString("00-")
+	sb.WriteString(tp.TraceID.String())
+	sb.WriteByte('-')
+	sb.WriteString(tp.SpanID.String())
+	sb.WriteByte('-')
+	const hexDigits = "0123456789abcdef"
+	sb.WriteByte(hexDigits[tp.Flags>>4])
+	sb.WriteByte(hexDigits[tp.Flags&0xF])
+	return sb.String()
+}
+
+// ParseTraceParent parses a W3C traceparent header. It accepts any
+// version except the reserved ff, requires non-zero trace and span ids,
+// and reports ok=false (zero TraceParent) on malformed input — the
+// serving layer then starts a fresh trace instead of failing the request.
+func ParseTraceParent(h string) (TraceParent, bool) {
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) < 4 {
+		return TraceParent{}, false
+	}
+	ver, err := hex.DecodeString(parts[0])
+	if err != nil || len(ver) != 1 || ver[0] == 0xFF {
+		return TraceParent{}, false
+	}
+	var tp TraceParent
+	tb, err := hex.DecodeString(parts[1])
+	if err != nil || len(tb) != len(tp.TraceID) {
+		return TraceParent{}, false
+	}
+	copy(tp.TraceID[:], tb)
+	sb, err := hex.DecodeString(parts[2])
+	if err != nil || len(sb) != len(tp.SpanID) {
+		return TraceParent{}, false
+	}
+	copy(tp.SpanID[:], sb)
+	fb, err := hex.DecodeString(parts[3])
+	if err != nil || len(fb) != 1 {
+		return TraceParent{}, false
+	}
+	tp.Flags = fb[0]
+	if !tp.Valid() {
+		return TraceParent{}, false
+	}
+	return tp, true
+}
+
+// JobTrace is one job's span tree: a root span opened at acceptance and
+// a hierarchy of child spans (queue wait, pool dispatch, the placement
+// run, per-phase aggregates) under it. Unlike Spans — which aggregates
+// durations by name — a JobTrace keeps the tree and the identifiers, so
+// a cross-replica collector can stitch job traces via traceparent
+// propagation. All methods are safe for concurrent use and on a nil
+// receiver (a nil *JobTrace records nothing).
+type JobTrace struct {
+	// Now injects the clock for span timestamps. Set it (if at all)
+	// immediately after NewJobTrace, before the trace is shared; nil
+	// falls back to the wall clock.
+	Now func() time.Time
+
+	mu      sync.Mutex
+	traceID TraceID
+	remote  SpanID // parent span on another node (zero when local root)
+	flags   byte
+	root    *SpanRec
+}
+
+// SpanRec is one node of a JobTrace. Exported methods are safe on nil.
+type SpanRec struct {
+	t        *JobTrace
+	name     string
+	id       SpanID
+	start    time.Time
+	end      time.Time // zero while open
+	attrs    map[string]string
+	children []*SpanRec
+}
+
+// NewJobTrace opens a trace whose root span is named name. When parent is
+// valid the trace continues the caller's trace id with the caller's span
+// as the root's parent; otherwise a fresh trace id is drawn.
+func NewJobTrace(name string, parent TraceParent) *JobTrace {
+	return NewJobTraceAt(name, parent, nil)
+}
+
+// NewJobTraceAt is NewJobTrace with an injected clock, applied from the
+// root span's start onward; nil clock falls back to the wall clock.
+func NewJobTraceAt(name string, parent TraceParent, clock func() time.Time) *JobTrace {
+	t := &JobTrace{Now: clock, flags: 0x01}
+	if parent.Valid() {
+		t.traceID = parent.TraceID
+		t.remote = parent.SpanID
+		t.flags = parent.Flags | 0x01
+	} else {
+		t.traceID = NewTraceID()
+	}
+	t.root = &SpanRec{t: t, name: name, id: NewSpanID(), start: t.now()}
+	return t
+}
+
+func (t *JobTrace) now() time.Time {
+	if t != nil && t.Now != nil {
+		return t.Now()
+	}
+	return time.Now()
+}
+
+// ID returns the trace id in hex ("" on nil).
+func (t *JobTrace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.traceID.String()
+}
+
+// Root returns the root span (nil on a nil trace).
+func (t *JobTrace) Root() *SpanRec {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Child returns the traceparent to propagate to work downstream of the
+// root span — the header a coordinator forwards to a kserved replica so
+// the replica's job trace stitches under this one.
+func (t *JobTrace) Child() TraceParent {
+	if t == nil {
+		return TraceParent{}
+	}
+	return TraceParent{TraceID: t.traceID, SpanID: t.root.id, Flags: t.flags}
+}
+
+// Start opens a child span under s. Safe on nil (returns nil, which is
+// itself safe to use).
+func (s *SpanRec) Start(name string) *SpanRec {
+	if s == nil {
+		return nil
+	}
+	c := &SpanRec{t: s.t, name: name, id: NewSpanID(), start: s.t.now()}
+	s.t.mu.Lock()
+	s.children = append(s.children, c)
+	s.t.mu.Unlock()
+	return c
+}
+
+// End closes the span at the trace clock's current time. Ending an
+// already-ended span keeps the first end. Safe on nil.
+func (s *SpanRec) End() {
+	if s == nil {
+		return
+	}
+	now := s.t.now()
+	s.t.mu.Lock()
+	if s.end.IsZero() {
+		s.end = now
+	}
+	s.t.mu.Unlock()
+}
+
+// SetAttr attaches a key/value attribute to the span. Safe on nil.
+func (s *SpanRec) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string)
+	}
+	s.attrs[k] = v
+	s.t.mu.Unlock()
+}
+
+// RecordChild attaches an already-measured child span — a section timed
+// externally (an aggregate phase total, the HTTP accept time) folded into
+// the tree after the fact. Safe on nil (returns nil).
+func (s *SpanRec) RecordChild(name string, start, end time.Time) *SpanRec {
+	if s == nil {
+		return nil
+	}
+	c := &SpanRec{t: s.t, name: name, id: NewSpanID(), start: start, end: end}
+	s.t.mu.Lock()
+	s.children = append(s.children, c)
+	s.t.mu.Unlock()
+	return c
+}
+
+// SpanTree is the JSON form of a JobTrace snapshot: the schema of
+// GET /jobs/{id}/trace and of flight-recorder bundles.
+type SpanTree struct {
+	TraceID string `json:"trace_id"`
+	// RemoteParent is the span id of the upstream caller's span when the
+	// trace was started from a propagated traceparent.
+	RemoteParent string   `json:"remote_parent_span_id,omitempty"`
+	Flags        byte     `json:"flags"`
+	Root         SpanJSON `json:"root"`
+}
+
+// SpanJSON is one snapshotted span.
+type SpanJSON struct {
+	Name     string            `json:"name"`
+	SpanID   string            `json:"span_id"`
+	Start    time.Time         `json:"start"`
+	DurNS    int64             `json:"dur_ns"` // 0 while the span is open
+	Open     bool              `json:"open,omitempty"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Children []SpanJSON        `json:"children,omitempty"`
+}
+
+// Snapshot copies the current span tree. Safe on nil (zero tree) and
+// under concurrent span activity.
+func (t *JobTrace) Snapshot() SpanTree {
+	if t == nil {
+		return SpanTree{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := SpanTree{TraceID: t.traceID.String(), Flags: t.flags, Root: snapshotSpan(t.root)}
+	if !t.remote.IsZero() {
+		st.RemoteParent = t.remote.String()
+	}
+	return st
+}
+
+// snapshotSpan copies one span and its subtree; t.mu held.
+func snapshotSpan(s *SpanRec) SpanJSON {
+	out := SpanJSON{Name: s.name, SpanID: s.id.String(), Start: s.start}
+	if s.end.IsZero() {
+		out.Open = true
+	} else {
+		out.DurNS = s.end.Sub(s.start).Nanoseconds()
+	}
+	if len(s.attrs) > 0 {
+		out.Attrs = make(map[string]string, len(s.attrs))
+		for k, v := range s.attrs {
+			out.Attrs[k] = v
+		}
+	}
+	for _, c := range s.children {
+		out.Children = append(out.Children, snapshotSpan(c))
+	}
+	return out
+}
+
+// WriteJSON encodes the snapshot. Safe on nil (writes the zero tree).
+func (t *JobTrace) WriteJSON(wr io.Writer) error {
+	if t == nil {
+		return json.NewEncoder(wr).Encode(SpanTree{})
+	}
+	return json.NewEncoder(wr).Encode(t.Snapshot())
+}

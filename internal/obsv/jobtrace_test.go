@@ -1,0 +1,249 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceParentRoundTrip(t *testing.T) {
+	const h = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	tp, ok := ParseTraceParent(h)
+	if !ok {
+		t.Fatalf("ParseTraceParent(%q) rejected", h)
+	}
+	if tp.TraceID.String() != "0af7651916cd43dd8448eb211c80319c" {
+		t.Errorf("trace id %s", tp.TraceID)
+	}
+	if tp.SpanID.String() != "b7ad6b7169203331" {
+		t.Errorf("span id %s", tp.SpanID)
+	}
+	if tp.Flags != 0x01 {
+		t.Errorf("flags %02x", tp.Flags)
+	}
+	if got := tp.String(); got != h {
+		t.Errorf("String() = %q, want %q", got, h)
+	}
+}
+
+func TestTraceParentRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"00-abc-def-01",
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331",      // missing flags
+		"zz-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",   // bad version hex
+		"ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",   // reserved version
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01",   // zero trace id
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",   // zero span id
+		"00-0af7651916cd43dd8448eb211c80319cff-b7ad6b7169203331-01", // long trace id
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-0102", // long flags
+		"00-0af7651916cd43dd8448eb211c80319X-b7ad6b7169203331-01",   // non-hex
+	}
+	for _, h := range bad {
+		if _, ok := ParseTraceParent(h); ok {
+			t.Errorf("ParseTraceParent(%q) accepted, want reject", h)
+		}
+	}
+}
+
+func TestJobTraceTree(t *testing.T) {
+	// Deterministic clock: each read advances 1ms.
+	var now time.Time = time.Unix(1700000000, 0)
+	clock := func() time.Time {
+		now = now.Add(time.Millisecond)
+		return now
+	}
+	parent, _ := ParseTraceParent("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	tr := NewJobTraceAt("job", parent, clock)
+
+	if tr.ID() != "0af7651916cd43dd8448eb211c80319c" {
+		t.Errorf("trace id %s did not propagate from the parent", tr.ID())
+	}
+	root := tr.Root()
+	root.SetAttr("k", "v")
+	q := root.Start("queue")
+	q.End()
+	run := root.Start("run")
+	run.RecordChild("phase/gather", now, now.Add(3*time.Millisecond))
+	run.End()
+	root.End()
+
+	st := tr.Snapshot()
+	if st.TraceID != tr.ID() || st.RemoteParent != "b7ad6b7169203331" {
+		t.Errorf("snapshot ids: %+v", st)
+	}
+	if st.Root.Name != "job" || st.Root.Attrs["k"] != "v" || st.Root.Open {
+		t.Errorf("root: %+v", st.Root)
+	}
+	if len(st.Root.Children) != 2 {
+		t.Fatalf("root children = %d, want 2", len(st.Root.Children))
+	}
+	if st.Root.Children[0].Name != "queue" || st.Root.Children[1].Name != "run" {
+		t.Errorf("child order: %s, %s", st.Root.Children[0].Name, st.Root.Children[1].Name)
+	}
+	if d := st.Root.Children[0].DurNS; d != int64(time.Millisecond) {
+		t.Errorf("queue span duration %d, want 1ms", d)
+	}
+	runSpan := st.Root.Children[1]
+	if len(runSpan.Children) != 1 || runSpan.Children[0].Name != "phase/gather" ||
+		runSpan.Children[0].DurNS != int64(3*time.Millisecond) {
+		t.Errorf("run children: %+v", runSpan.Children)
+	}
+	// End() keeps the first end.
+	root.End()
+	if again := tr.Snapshot(); again.Root.DurNS != st.Root.DurNS {
+		t.Errorf("second End moved the root end: %d vs %d", again.Root.DurNS, st.Root.DurNS)
+	}
+
+	// Child() propagates the trace with the root as parent.
+	child := tr.Child()
+	if child.TraceID != parent.TraceID || child.SpanID.String() != st.Root.SpanID {
+		t.Errorf("Child() = %+v", child)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded SpanTree
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("WriteJSON output does not parse: %v", err)
+	}
+	if decoded.TraceID != st.TraceID {
+		t.Errorf("decoded trace id %s", decoded.TraceID)
+	}
+}
+
+func TestJobTraceFreshWithoutParent(t *testing.T) {
+	a := NewJobTrace("a", TraceParent{})
+	b := NewJobTrace("b", TraceParent{})
+	if a.ID() == "" || a.ID() == b.ID() {
+		t.Errorf("fresh traces collided: %s vs %s", a.ID(), b.ID())
+	}
+	if st := a.Snapshot(); st.RemoteParent != "" {
+		t.Errorf("fresh trace has remote parent %s", st.RemoteParent)
+	}
+	if !a.Snapshot().Root.Open {
+		t.Error("unended root should snapshot as open")
+	}
+}
+
+func TestJobTraceNilSafety(t *testing.T) {
+	var tr *JobTrace
+	if tr.ID() != "" || tr.Root() != nil {
+		t.Error("nil trace not inert")
+	}
+	tr.Child()
+	if st := tr.Snapshot(); st.TraceID != "" {
+		t.Errorf("nil snapshot: %+v", st)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s *SpanRec
+	s.End()
+	s.SetAttr("k", "v")
+	if c := s.Start("x"); c != nil {
+		t.Error("nil span Start returned non-nil")
+	}
+	if c := s.RecordChild("x", time.Time{}, time.Time{}); c != nil {
+		t.Error("nil span RecordChild returned non-nil")
+	}
+}
+
+// TestJobTraceConcurrent hammers one trace from many goroutines; run
+// with -race this is the data-race check for the span tree.
+func TestJobTraceConcurrent(t *testing.T) {
+	tr := NewJobTrace("job", TraceParent{})
+	root := tr.Root()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 100; k++ {
+				sp := root.Start("w")
+				sp.SetAttr("i", "x")
+				sp.End()
+				_ = tr.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Snapshot().Root.Children); got != 800 {
+		t.Errorf("children = %d, want 800", got)
+	}
+}
+
+func TestFlightRecorderRing(t *testing.T) {
+	r := NewFlightRecorder(2)
+	for i, reason := range []string{"a", "b", "c"} {
+		r.Record(FlightEntry{Reason: reason, JobID: string(rune('0' + i))})
+	}
+	if r.Len() != 2 || r.Dropped() != 1 {
+		t.Fatalf("len %d dropped %d, want 2/1", r.Len(), r.Dropped())
+	}
+	snap := r.Snapshot()
+	if snap[0].Reason != "b" || snap[1].Reason != "c" {
+		t.Errorf("snapshot order: %s, %s (want oldest first)", snap[0].Reason, snap[1].Reason)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Capacity int `json:"capacity"`
+		Dropped  int `json:"dropped"`
+		Entries  []struct {
+			Reason string `json:"reason"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatalf("dump does not parse: %v", err)
+	}
+	if dump.Capacity != 2 || dump.Dropped != 1 || len(dump.Entries) != 2 {
+		t.Errorf("dump: %+v", dump)
+	}
+
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/flightrecorder", nil))
+	if rec.Code != 200 || rec.Header().Get("Content-Type") != "application/json" {
+		t.Errorf("ServeHTTP: %d %s", rec.Code, rec.Header().Get("Content-Type"))
+	}
+}
+
+func TestFlightRecorderNil(t *testing.T) {
+	var r *FlightRecorder
+	r.Record(FlightEntry{Reason: "x"})
+	if r.Len() != 0 || r.Dropped() != 0 || r.Snapshot() != nil {
+		t.Error("nil recorder not inert")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != 404 {
+		t.Errorf("nil recorder ServeHTTP = %d, want 404", rec.Code)
+	}
+	if p := r.CaptureCPUProfile(time.Millisecond); p != nil {
+		t.Error("nil recorder captured a profile")
+	}
+}
+
+func TestFlightRecorderCPUProfile(t *testing.T) {
+	r := NewFlightRecorder(1)
+	p := r.CaptureCPUProfile(10 * time.Millisecond)
+	if len(p) == 0 {
+		t.Skip("CPU profiling unavailable (another profiler active)")
+	}
+	if r.CaptureCPUProfile(0) != nil {
+		t.Error("zero-duration capture should return nil")
+	}
+}

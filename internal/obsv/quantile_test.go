@@ -1,0 +1,187 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestQuantileInterpolation pins the estimator on a hand-checkable
+// distribution: buckets [1 2 4], one sample per bucket edge region.
+func TestQuantileInterpolation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_test", "quantile fixture", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 3.5} {
+		h.Observe(v)
+	}
+	// cum = [1, 2, 4], total 4.
+	cases := []struct{ q, want float64 }{
+		{0.25, 1}, // rank 1 lands exactly on the first bucket's count → its upper bound
+		{0.5, 2},  // rank 2 fills the (1,2] bucket → 2
+		{0.75, 3}, // rank 3: one of two samples into (2,4] → 2 + 2*(1/2)
+		{1.0, 4},  // everything observed ≤ 4
+		{0, 0},    // rank 0 → the first bucket's zero floor
+		{-0.5, 0}, // clamped to q=0
+		{1.5, 4},  // clamped to q=1
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	qs := h.Quantiles(0.5, 0.75)
+	if qs[0] != 2 || qs[1] != 3 {
+		t.Errorf("Quantiles = %v, want [2 3]", qs)
+	}
+}
+
+// TestQuantileFirstBucketInterpolatesFromZero checks the Prometheus
+// convention: the first finite bucket's lower bound is 0.
+func TestQuantileFirstBucketInterpolatesFromZero(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_first", "fixture", []float64{10})
+	for i := 0; i < 4; i++ {
+		h.Observe(1)
+	}
+	if got := h.Quantile(0.5); got != 5 {
+		t.Errorf("Quantile(0.5) = %g, want 5 (linear within [0,10])", got)
+	}
+}
+
+// TestQuantileOverflowClampsToLastFinite: samples beyond the bucket
+// ladder cannot be located, so quantiles in the +Inf bucket report the
+// largest finite bound.
+func TestQuantileOverflowClampsToLastFinite(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_inf", "fixture", []float64{1, 4})
+	h.Observe(100)
+	h.Observe(200)
+	if got := h.Quantile(0.99); got != 4 {
+		t.Errorf("Quantile(0.99) = %g, want clamp to 4", got)
+	}
+}
+
+func TestQuantileEmptyAndNil(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_empty", "fixture", []float64{1})
+	if got := h.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty histogram Quantile = %g, want NaN", got)
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("nil histogram Quantile = %g, want NaN", got)
+	}
+	for _, q := range nilH.Quantiles(0.5, 0.9) {
+		if !math.IsNaN(q) {
+			t.Errorf("nil histogram Quantiles contains %g, want NaN", q)
+		}
+	}
+}
+
+// TestEncoderQuantileGolden pins the quantile surfacing in both
+// encoders: sibling _p50/_p95/_p99 gauge families in Prometheus text,
+// p50/p95/p99 fields in JSON.
+func TestEncoderQuantileGolden(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "fixture latency", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 3.5} {
+		h.Observe(v)
+	}
+
+	var prom bytes.Buffer
+	if err := r.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	text := prom.String()
+	for _, want := range []string{
+		"# TYPE lat_seconds histogram",
+		"# TYPE lat_seconds_p50 gauge",
+		"lat_seconds_p50 2\n",
+		"lat_seconds_p95 3.8\n", // rank 3.8 → 2 + 2*(1.8/2)
+		"lat_seconds_p99 3.96\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Prometheus encoding missing %q:\n%s", want, text)
+		}
+	}
+
+	var js bytes.Buffer
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Histograms map[string]struct {
+			Count int64   `json:"count"`
+			P50   float64 `json:"p50"`
+			P95   float64 `json:"p95"`
+			P99   float64 `json:"p99"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(js.Bytes(), &doc); err != nil {
+		t.Fatalf("JSON encoding does not parse: %v", err)
+	}
+	hj, ok := doc.Histograms["lat_seconds"]
+	if !ok {
+		t.Fatalf("JSON encoding missing histogram: %s", js.String())
+	}
+	if hj.Count != 4 || hj.P50 != 2 || math.Abs(hj.P95-3.8) > 1e-12 || math.Abs(hj.P99-3.96) > 1e-12 {
+		t.Errorf("JSON quantiles = %+v, want count 4, p50 2, p95 3.8, p99 3.96", hj)
+	}
+}
+
+// TestEmptyHistogramEncodesWithoutQuantiles: an empty histogram must not
+// emit NaN into either encoding.
+func TestEmptyHistogramEncodesWithoutQuantiles(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("empty_seconds", "fixture", []float64{1})
+
+	var prom bytes.Buffer
+	if err := r.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(prom.String(), "empty_seconds_p50") {
+		t.Errorf("empty histogram emitted quantile lines:\n%s", prom.String())
+	}
+	var js bytes.Buffer
+	if err := r.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(js.String(), "NaN") {
+		t.Errorf("JSON encoding contains NaN: %s", js.String())
+	}
+}
+
+// TestBadSampleGuards: NaN/±Inf samples are dropped and counted, never
+// recorded.
+func TestBadSampleGuards(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g", "fixture")
+	h := r.Histogram("h_seconds", "fixture", []float64{1})
+
+	g.Set(3)
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		g.Set(v)
+		g.Add(v)
+		h.Observe(v)
+	}
+	if got := g.Value(); got != 3 {
+		t.Errorf("gauge poisoned: %g, want 3", got)
+	}
+	h.Observe(0.5)
+	_, _, sum, total := h.snapshot()
+	if total != 1 || sum != 0.5 {
+		t.Errorf("histogram poisoned: total %d sum %g, want 1 / 0.5", total, sum)
+	}
+	bad := r.Counter(badSamplesName, "")
+	if got := bad.Value(); got != 9 {
+		t.Errorf("obsv_bad_samples_total = %d, want 9 (3 Set + 3 Add + 3 Observe)", got)
+	}
+
+	// Nil receivers stay inert.
+	var nilG *Gauge
+	var nilHist *Histogram
+	nilG.Set(math.NaN())
+	nilHist.Observe(math.Inf(1))
+}

@@ -48,22 +48,34 @@ func (c *Counter) Value() int64 {
 	return c.v.Load()
 }
 
-// Gauge is a float metric that can go up and down.
+// Gauge is a float metric that can go up and down. NaN and ±Inf inputs
+// are dropped (counted in obsv_bad_samples_total when the gauge came from
+// a registry): one poisoned sample must not make /metrics unparseable.
 type Gauge struct {
 	bits atomic.Uint64
+	bad  *Counter // registry's bad-sample counter; nil outside a registry
 }
 
-// Set stores v. Safe on nil.
+// Set stores v. Non-finite values are dropped. Safe on nil.
 func (g *Gauge) Set(v float64) {
 	if g == nil {
+		return
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		g.bad.Inc()
 		return
 	}
 	g.bits.Store(math.Float64bits(v))
 }
 
-// Add increments by v (CAS loop). Safe on nil.
+// Add increments by v (CAS loop). Non-finite increments are dropped.
+// Safe on nil.
 func (g *Gauge) Add(v float64) {
 	if g == nil {
+		return
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		g.bad.Inc()
 		return
 	}
 	for {
@@ -91,11 +103,19 @@ type Histogram struct {
 	counts []int64   // len(uppers)+1; last is the +Inf overflow
 	sum    float64
 	total  int64
+	bad    *Counter // registry's bad-sample counter; nil outside a registry
 }
 
-// Observe records one sample. Safe on nil.
+// Observe records one sample. NaN and ±Inf samples are dropped (counted
+// in obsv_bad_samples_total when the histogram came from a registry) so
+// one bad measurement cannot poison the sum or the quantile estimates.
+// Safe on nil.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
+		return
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		h.bad.Inc()
 		return
 	}
 	h.mu.Lock()
@@ -195,7 +215,7 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	defer r.mu.Unlock()
 	g, ok := r.gauges[name]
 	if !ok {
-		g = &Gauge{}
+		g = &Gauge{bad: r.badSamplesLocked()}
 		r.gauges[name] = g
 		r.setHelp(name, help)
 	}
@@ -215,11 +235,26 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 	if !ok {
 		uppers := append([]float64(nil), buckets...)
 		sort.Float64s(uppers)
-		h = &Histogram{uppers: uppers, counts: make([]int64, len(uppers)+1)}
+		h = &Histogram{uppers: uppers, counts: make([]int64, len(uppers)+1), bad: r.badSamplesLocked()}
 		r.histograms[name] = h
 		r.setHelp(name, help)
 	}
 	return h
+}
+
+// badSamplesName counts NaN/±Inf samples dropped by Gauge.Set/Add and
+// Histogram.Observe instead of poisoning the encoded output.
+const badSamplesName = "obsv_bad_samples_total"
+
+// badSamplesLocked resolves the shared bad-sample counter; r.mu held.
+func (r *Registry) badSamplesLocked() *Counter {
+	c, ok := r.counters[badSamplesName]
+	if !ok {
+		c = &Counter{}
+		r.counters[badSamplesName] = c
+		r.setHelp(badSamplesName, "non-finite metric samples dropped instead of recorded")
+	}
+	return c
 }
 
 func (r *Registry) setHelp(name, help string) {
@@ -278,6 +313,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		fmt.Fprintf(&sb, "%s_sum%s %g\n", fam, bracket(labels), sum)
 		fmt.Fprintf(&sb, "%s_count%s %d\n", fam, bracket(labels), total)
 		lines = append(lines, line{fam, "histogram", sb.String()})
+		// Interpolated quantiles ride along as sibling gauge families
+		// (fam_p50...), so plain-text consumers get latency percentiles
+		// without a query engine; empty histograms encode NaN.
+		if total > 0 {
+			for _, qp := range quantilePoints {
+				v := bucketQuantile(qp.q, uppers, cum, total)
+				lines = append(lines, line{fam + qp.suffix, "gauge",
+					fmt.Sprintf("%s%s%s %g\n", fam, qp.suffix, bracket(labels), v)})
+			}
+		}
 	}
 	sort.Slice(lines, func(i, j int) bool {
 		if lines[i].fam != lines[j].fam {
@@ -316,10 +361,21 @@ func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-// histJSON is the JSON shape of one histogram.
+// quantilePoints are the percentiles both encoders surface per histogram.
+var quantilePoints = []struct {
+	q      float64
+	suffix string
+}{{0.5, "_p50"}, {0.95, "_p95"}, {0.99, "_p99"}}
+
+// histJSON is the JSON shape of one histogram. The quantile fields are
+// bucket-interpolated estimates (0 while the histogram is empty — JSON
+// has no NaN).
 type histJSON struct {
 	Count   int64            `json:"count"`
 	Sum     float64          `json:"sum"`
+	P50     float64          `json:"p50"`
+	P95     float64          `json:"p95"`
+	P99     float64          `json:"p99"`
 	Buckets map[string]int64 `json:"buckets"` // upper bound → cumulative count
 }
 
@@ -345,7 +401,13 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 			buckets[formatFloat(up)] = cum[i]
 		}
 		buckets["+Inf"] = total
-		out.Histograms[name] = histJSON{Count: total, Sum: sum, Buckets: buckets}
+		hj := histJSON{Count: total, Sum: sum, Buckets: buckets}
+		if total > 0 {
+			hj.P50 = bucketQuantile(0.5, uppers, cum, total)
+			hj.P95 = bucketQuantile(0.95, uppers, cum, total)
+			hj.P99 = bucketQuantile(0.99, uppers, cum, total)
+		}
+		out.Histograms[name] = hj
 	}
 	r.mu.Unlock()
 	return json.NewEncoder(w).Encode(out)

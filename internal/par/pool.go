@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 )
 
 // Pool errors returned by Submit.
@@ -32,6 +33,10 @@ type Pool struct {
 
 	tasks chan func()
 	wg    sync.WaitGroup
+
+	// running counts tasks currently executing on workers; it is what a
+	// health endpoint reports as "active workers".
+	running atomic.Int64
 
 	mu     sync.Mutex
 	closed bool
@@ -63,7 +68,9 @@ func (p *Pool) worker() {
 
 // invoke isolates one task's panic so the worker survives it.
 func (p *Pool) invoke(fn func()) {
+	p.running.Add(1)
 	defer func() {
+		p.running.Add(-1)
 		if r := recover(); r != nil && p.OnPanic != nil {
 			p.OnPanic(r)
 		}
@@ -91,6 +98,9 @@ func (p *Pool) Submit(fn func()) error {
 // Queued returns the number of tasks waiting in the queue (not counting
 // tasks already running on workers).
 func (p *Pool) Queued() int { return len(p.tasks) }
+
+// Running returns the number of tasks currently executing on workers.
+func (p *Pool) Running() int { return int(p.running.Load()) }
 
 // Close stops accepting tasks and waits until the queue has drained and
 // every worker has finished its current task. It is idempotent.

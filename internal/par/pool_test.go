@@ -104,3 +104,27 @@ func TestPoolConcurrentSubmitters(t *testing.T) {
 		t.Fatalf("ran %d tasks, want 800", got)
 	}
 }
+
+func TestPoolRunning(t *testing.T) {
+	p := NewPool(2, 8)
+	if got := p.Running(); got != 0 {
+		t.Fatalf("idle pool Running() = %d, want 0", got)
+	}
+	block := make(chan struct{})
+	var started sync.WaitGroup
+	started.Add(2)
+	for i := 0; i < 2; i++ {
+		if err := p.Submit(func() { started.Done(); <-block }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	started.Wait()
+	if got := p.Running(); got != 2 {
+		t.Fatalf("Running() = %d with both workers busy, want 2", got)
+	}
+	close(block)
+	p.Close()
+	if got := p.Running(); got != 0 {
+		t.Fatalf("Running() = %d after drain, want 0", got)
+	}
+}

@@ -161,11 +161,17 @@ type IterStats struct {
 	HPWL        float64 `json:"hpwl"`
 	Overflow    float64 `json:"overflow"`
 	EmptySquare float64 `json:"empty_square"` // largest empty square area
-	MaxForce    float64 `json:"max_force"`    // force increment magnitude before accumulation
-	CGIterX     int     `json:"cg_iter_x"`
-	CGIterY     int     `json:"cg_iter_y"`
-	CGResidX    float64 `json:"cg_resid_x"` // final relative residual, x solve
-	CGResidY    float64 `json:"cg_resid_y"` // final relative residual, y solve
+	// GapProxy is EmptySquare normalized by the §4.2 stopping threshold
+	// (StopSquareFactor × average cell area): a dimensionless
+	// distance-to-convergence in the spirit of Coloquinte's LB/UB gap.
+	// It falls toward 1 as the run approaches the stopping criterion;
+	// ≤1 means the criterion is met.
+	GapProxy float64 `json:"gap_proxy"`
+	MaxForce float64 `json:"max_force"` // force increment magnitude before accumulation
+	CGIterX  int     `json:"cg_iter_x"`
+	CGIterY  int     `json:"cg_iter_y"`
+	CGResidX float64 `json:"cg_resid_x"` // final relative residual, x solve
+	CGResidY float64 `json:"cg_resid_y"` // final relative residual, y solve
 
 	// Per-phase wall times of this transformation. The x and y solves run
 	// concurrently, so TSolveX+TSolveY can exceed TStep; the sequential
@@ -261,6 +267,7 @@ type Placer struct {
 	pending []geom.Point  // externally queued forces for the next Step
 	iter    int
 	met     placeMetrics
+	avgArea float64 // cached AvgCellArea (>0); denominator of GapProxy
 
 	// asm caches the quadratic system's sparsity pattern and storage
 	// across transformations; nil under Config.NoReuse.
@@ -359,12 +366,13 @@ func New(nl *netlist.Netlist, cfg Config) *Placer {
 		cny = 2
 	}
 	p := &Placer{
-		nl:     nl,
-		cfg:    cfg,
-		grid:   density.NewGrid(nl.Region.Outline, nx, ny),
-		coarse: density.NewGrid(nl.Region.Outline, cnx, cny),
-		forces: make([]geom.Point, len(nl.Cells)),
-		met:    newPlaceMetrics(cfg.Metrics),
+		nl:      nl,
+		cfg:     cfg,
+		grid:    density.NewGrid(nl.Region.Outline, nx, ny),
+		coarse:  density.NewGrid(nl.Region.Outline, cnx, cny),
+		forces:  make([]geom.Point, len(nl.Cells)),
+		met:     newPlaceMetrics(cfg.Metrics),
+		avgArea: avg,
 	}
 	p.grid.NoCache = cfg.NoReuse
 	if !cfg.NoReuse {
@@ -594,6 +602,7 @@ func (p *Placer) Step() (IterStats, error) {
 		TSolveX:     res.X.Elapsed,
 		TSolveY:     res.Y.Elapsed,
 	}
+	stats.GapProxy = stats.EmptySquare / (cfg.StopSquareFactor * p.avgArea)
 	stats.TStep = stepStart.Elapsed()
 	p.iter++
 	if sp := cfg.Spans; sp != nil {

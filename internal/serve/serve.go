@@ -65,6 +65,22 @@ type Config struct {
 	// Now injects the wall clock for job timestamps; cmd/kserved passes
 	// time.Now. Nil falls back to the real clock.
 	Now func() time.Time
+	// SLO, when positive, is the per-job run-time objective: a job whose
+	// placement run (queue wait excluded) takes longer records a
+	// flight-recorder bundle with reason "slo_breach".
+	SLO time.Duration
+	// FlightRecorderCap bounds the in-memory anomaly ring. Defaults to
+	// 32; negative disables the recorder entirely.
+	FlightRecorderCap int
+	// RejectBurst is the number of backpressure rejections within one
+	// second that counts as an anomaly (reason "reject_burst"). Defaults
+	// to 8; negative disables the trigger.
+	RejectBurst int
+	// ProfileOnBreach, when positive, captures a CPU profile of that
+	// duration into the flight bundle on an SLO breach. The capture runs
+	// synchronously on the breaching job's worker — the time is already
+	// lost to the breach — and at most one capture runs at a time.
+	ProfileOnBreach time.Duration
 }
 
 // State is a job's lifecycle position.
@@ -96,6 +112,14 @@ type JobRequest struct {
 	// Deadline bounds the job's run time; the job returns its best
 	// placement when it expires. Zero uses Config.DefaultDeadline.
 	Deadline time.Duration
+	// Trace is the upstream trace context (parsed W3C traceparent). The
+	// zero value starts a fresh trace; a valid one stitches this job's
+	// span tree under the caller's span.
+	Trace obsv.TraceParent
+	// Accept is how long the transport spent accepting the request
+	// (decode + netlist parse) before Submit; it becomes the root span's
+	// leading "accept" child so the trace covers the full request.
+	Accept time.Duration
 }
 
 // Status is a point-in-time snapshot of a job, also the /jobs/{id} JSON
@@ -118,6 +142,9 @@ type Status struct {
 	// by Shutdown.
 	Checkpoint string `json:"checkpoint,omitempty"`
 	Error      string `json:"error,omitempty"`
+	// TraceID identifies the job's span tree (GET /jobs/{id}/trace);
+	// propagated from the submitter's traceparent when one was sent.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Job is one submitted placement. All accessors are safe for concurrent
@@ -129,6 +156,13 @@ type Job struct {
 	cfg    place.Config
 	cancel context.CancelFunc
 	ctx    context.Context
+
+	// trace is the job's span tree; queueSpan is the open "queue" child
+	// ended when a worker picks the job up. prog is the bounded event
+	// ring behind GET /jobs/{id}/events.
+	trace     *obsv.JobTrace
+	queueSpan *obsv.SpanRec
+	prog      *progress
 
 	mu     sync.Mutex
 	status Status
@@ -149,6 +183,21 @@ func (j *Job) Status() Status {
 // terminal: the worker mutates positions while running.
 func (j *Job) Netlist() *netlist.Netlist { return j.nl }
 
+// TraceTree snapshots the job's span tree (the /jobs/{id}/trace schema).
+func (j *Job) TraceTree() obsv.SpanTree { return j.trace.Snapshot() }
+
+// TraceParent returns the trace context to propagate to work downstream
+// of this job — the traceparent header value for a follow-up call.
+func (j *Job) TraceParent() obsv.TraceParent { return j.trace.Child() }
+
+// Events returns buffered progress events with Seq >= from (oldest
+// first), a channel that closes when the next event arrives, and whether
+// the stream has ended. An empty batch with done=false means "wait on
+// wake, then call again".
+func (j *Job) Events(from int) (events []Event, wake <-chan struct{}, done bool) {
+	return j.prog.since(from)
+}
+
 // Cancel stops the job: a queued job is marked cancelled immediately, a
 // running one stops at the next transformation with its partial placement
 // intact. Cancelling a terminal job is a no-op.
@@ -163,6 +212,9 @@ func (j *Job) Cancel() {
 	j.mu.Unlock()
 	if wasQueued {
 		j.s.met.cancelled.Inc()
+		j.queueSpan.End()
+		j.trace.Root().End()
+		j.prog.closeWith(Event{State: StateCancelled})
 	}
 	j.cancel()
 }
@@ -173,16 +225,22 @@ func (j *Job) Done() bool { return j.Status().State.Terminal() }
 // Server is the placement service: a bounded queue feeding a par.Pool of
 // placement workers.
 type Server struct {
-	cfg  Config
-	pool *par.Pool
-	reg  *obsv.Registry
-	met  serveMetrics
+	cfg     Config
+	pool    *par.Pool
+	reg     *obsv.Registry
+	met     serveMetrics
+	rec     *obsv.FlightRecorder // nil when disabled
+	started time.Time
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	order    []string // submission order, for listing
 	nextID   int
 	draining bool
+	// Rejection-burst tracking: rejCount rejections since rejWindow; a
+	// window is one second, and the flight trigger fires once per window.
+	rejWindow time.Time
+	rejCount  int
 }
 
 type serveMetrics struct {
@@ -192,8 +250,11 @@ type serveMetrics struct {
 	cancelled  *obsv.Counter
 	failed     *obsv.Counter
 	deadlined  *obsv.Counter
+	flight     *obsv.Counter
 	queueDepth *obsv.Gauge
 	jobSeconds *obsv.Histogram
+	queueWait  *obsv.Histogram
+	runSeconds *obsv.Histogram
 }
 
 // New starts a server with cfg's worker pool. Call Shutdown to stop it.
@@ -203,6 +264,12 @@ func New(cfg Config) *Server {
 	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 16
+	}
+	if cfg.FlightRecorderCap == 0 {
+		cfg.FlightRecorderCap = 32
+	}
+	if cfg.RejectBurst == 0 {
+		cfg.RejectBurst = 8
 	}
 	reg := cfg.Metrics
 	if reg == nil {
@@ -220,10 +287,17 @@ func New(cfg Config) *Server {
 			cancelled:  reg.Counter("serve_jobs_cancelled_total", "placement jobs cancelled"),
 			failed:     reg.Counter("serve_jobs_failed_total", "placement jobs failed (panic or structural error)"),
 			deadlined:  reg.Counter("serve_jobs_deadline_total", "placement jobs that returned a deadline partial"),
+			flight:     reg.Counter("serve_flight_records_total", "anomaly bundles captured by the flight recorder"),
 			queueDepth: reg.Gauge("serve_queue_depth", "jobs waiting to start"),
 			jobSeconds: reg.Histogram("serve_job_seconds", "placement job wall time in seconds", obsv.SecondsBuckets),
+			queueWait:  reg.Histogram("serve_queue_wait_seconds", "time from submission to a worker picking the job up", obsv.SecondsBuckets),
+			runSeconds: reg.Histogram("serve_run_seconds", "placement run time excluding queue wait", obsv.SecondsBuckets),
 		},
 	}
+	if cfg.FlightRecorderCap > 0 {
+		s.rec = obsv.NewFlightRecorder(cfg.FlightRecorderCap)
+	}
+	s.started = s.now()
 	// The pool's own recovery is a backstop; runJob recovers per job
 	// before the panic can reach the worker.
 	s.pool.OnPanic = func(any) { s.met.failed.Inc() }
@@ -248,7 +322,7 @@ func (s *Server) Submit(req JobRequest) (*Job, error) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		s.met.rejected.Inc()
+		s.noteRejection()
 		return nil, ErrDraining
 	}
 	s.nextID++
@@ -259,25 +333,40 @@ func (s *Server) Submit(req JobRequest) (*Job, error) {
 	if deadline <= 0 {
 		deadline = s.cfg.DefaultDeadline
 	}
+	now := s.now()
+	tr := obsv.NewJobTraceAt("serve/job", req.Trace, s.cfg.Now)
+	root := tr.Root()
+	root.SetAttr("job_id", id)
+	root.SetAttr("design", req.Netlist.Name)
+	if req.Accept > 0 {
+		// The transport's accept work (decode + parse) happened just
+		// before Submit; fold it into the tree as the root's first child.
+		root.RecordChild("accept", now.Add(-req.Accept), now)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &Job{
-		id:     id,
-		s:      s,
-		nl:     req.Netlist,
-		cfg:    req.Config,
-		ctx:    ctx,
-		cancel: cancel,
+		id:        id,
+		s:         s,
+		nl:        req.Netlist,
+		cfg:       req.Config,
+		ctx:       ctx,
+		cancel:    cancel,
+		trace:     tr,
+		queueSpan: root.Start("queue"),
+		prog:      newProgress(),
 		status: Status{
 			ID:          id,
 			State:       StateQueued,
 			Design:      req.Netlist.Name,
 			Cells:       len(req.Netlist.Cells),
-			SubmittedAt: s.now(),
+			SubmittedAt: now,
+			TraceID:     tr.ID(),
 		},
 	}
 	j.cfg.NoTrace = true
 	// Chain the server's progress recorder onto the caller's observer so
-	// /jobs/{id} shows live iteration counts.
+	// /jobs/{id} shows live iteration counts and /jobs/{id}/events
+	// streams per-iteration convergence.
 	user := j.cfg.OnIteration
 	j.cfg.OnIteration = func(st place.IterStats) {
 		j.mu.Lock()
@@ -285,6 +374,7 @@ func (s *Server) Submit(req JobRequest) (*Job, error) {
 		j.status.HPWL = st.HPWL
 		j.status.Overflow = st.Overflow
 		j.mu.Unlock()
+		j.prog.append(eventFrom(st))
 		if user != nil {
 			user(st)
 		}
@@ -292,7 +382,7 @@ func (s *Server) Submit(req JobRequest) (*Job, error) {
 	run := func() { s.runJob(j, deadline) }
 	if err := s.pool.Submit(run); err != nil {
 		cancel()
-		s.met.rejected.Inc()
+		s.noteRejection()
 		if errors.Is(err, par.ErrPoolClosed) {
 			return nil, ErrDraining
 		}
@@ -317,8 +407,13 @@ func (s *Server) runJob(j *Job, deadline time.Duration) {
 		return
 	}
 	j.status.State = StateRunning
-	j.status.StartedAt = s.now()
+	started := s.now()
+	j.status.StartedAt = started
+	submitted := j.status.SubmittedAt
 	j.mu.Unlock()
+	j.queueSpan.End()
+	s.met.queueWait.Observe(started.Sub(submitted).Seconds())
+	runSpan := j.trace.Root().Start("run")
 
 	defer func() {
 		if r := recover(); r != nil {
@@ -328,6 +423,11 @@ func (s *Server) runJob(j *Job, deadline time.Duration) {
 			j.status.FinishedAt = s.now()
 			j.mu.Unlock()
 			s.met.failed.Inc()
+			runSpan.SetAttr("panic", fmt.Sprint(r))
+			runSpan.End()
+			j.trace.Root().End()
+			s.flightDump(j, "panic", map[string]any{"panic": fmt.Sprint(r)}, nil)
+			j.prog.closeWith(Event{State: StateFailed})
 		}
 	}()
 
@@ -341,15 +441,47 @@ func (s *Server) runJob(j *Job, deadline time.Duration) {
 	sw := obsv.StartTimer()
 	placer := place.New(j.nl, j.cfg)
 	res, err := placer.Run(ctx)
-	s.met.jobSeconds.Observe(sw.Elapsed().Seconds())
+	elapsed := sw.Elapsed()
+	s.met.jobSeconds.Observe(elapsed.Seconds())
+	s.met.runSeconds.Observe(elapsed.Seconds())
+
+	// Fold the run's phase totals into the trace as a waterfall of
+	// aggregate child spans (laid end to end from the run start; the x/y
+	// solves actually overlap, so the waterfall is a duration budget, not
+	// a timeline), then close the run and root spans.
+	runEnd := s.now()
+	runStart := runEnd.Add(-elapsed)
+	t := runStart
+	for _, ph := range []struct {
+		name string
+		d    time.Duration
+	}{
+		{"phase/weight", res.Phases.Weight},
+		{"phase/gather", res.Phases.Gather},
+		{"phase/field", res.Phases.Field},
+		{"phase/build", res.Phases.Build},
+		{"phase/solve-x", res.Phases.SolveX},
+		{"phase/solve-y", res.Phases.SolveY},
+	} {
+		if ph.d > 0 {
+			runSpan.RecordChild(ph.name, t, t.Add(ph.d))
+			t = t.Add(ph.d)
+		}
+	}
+	runSpan.SetAttr("iterations", fmt.Sprint(res.Iterations))
+	runSpan.SetAttr("stop_reason", res.StopReason)
+	runSpan.SetAttr("hpwl", fmt.Sprintf("%g", res.HPWL))
+	runSpan.End()
+	j.trace.Root().End()
 
 	j.mu.Lock()
-	j.status.FinishedAt = s.now()
+	j.status.FinishedAt = runEnd
 	j.status.Iterations = res.Iterations
 	j.status.HPWL = res.HPWL
 	j.status.Overflow = res.Overflow
 	j.status.StopReason = res.StopReason
 	needCkpt := false
+	final := Event{HPWL: res.HPWL, Overflow: res.Overflow, Iter: res.Iterations - 1}
 	switch {
 	case err != nil:
 		j.status.State = StateFailed
@@ -368,7 +500,29 @@ func (s *Server) runJob(j *Job, deadline time.Duration) {
 			s.met.deadlined.Inc()
 		}
 	}
+	final.State = j.status.State
 	j.mu.Unlock()
+
+	// Anomaly capture. A deadline miss means the job shipped a partial;
+	// an SLO breach means even a completed run was too slow. Both freeze
+	// the span tree and the recent convergence samples for postmortem.
+	if res.StopReason == place.StopDeadline {
+		s.flightDump(j, "deadline_miss", map[string]any{
+			"deadline_ms": deadline.Milliseconds(),
+			"iterations":  res.Iterations,
+			"stop_reason": res.StopReason,
+		}, nil)
+	} else if s.cfg.SLO > 0 && elapsed > s.cfg.SLO {
+		var profile []byte
+		if s.cfg.ProfileOnBreach > 0 {
+			profile = s.rec.CaptureCPUProfile(s.cfg.ProfileOnBreach)
+		}
+		s.flightDump(j, "slo_breach", map[string]any{
+			"slo_ms": s.cfg.SLO.Milliseconds(),
+			"run_ms": elapsed.Milliseconds(),
+		}, profile)
+	}
+	j.prog.closeWith(final)
 
 	// The checkpoint write happens outside the status lock: the placer is
 	// exclusively ours once Run returned, and a Status reader should never
@@ -385,6 +539,64 @@ func (s *Server) runJob(j *Job, deadline time.Duration) {
 		j.mu.Unlock()
 	}
 }
+
+// flightDump freezes one job's observability state — span tree plus the
+// most recent convergence samples — into the flight recorder. No-op when
+// the recorder is disabled.
+func (s *Server) flightDump(j *Job, reason string, detail map[string]any, profile []byte) {
+	if s.rec == nil {
+		return
+	}
+	tree := j.trace.Snapshot()
+	s.rec.Record(obsv.FlightEntry{
+		Time:       s.now(),
+		Reason:     reason,
+		JobID:      j.id,
+		Detail:     detail,
+		Trace:      &tree,
+		Samples:    j.prog.recent(64),
+		CPUProfile: profile,
+	})
+	s.met.flight.Inc()
+}
+
+// noteRejection counts one backpressure rejection and, when rejections
+// burst (RejectBurst within a one-second window), records a flight
+// bundle — a rejection storm is an anomaly about the service, not about
+// any single job. Fires once per window.
+func (s *Server) noteRejection() {
+	s.met.rejected.Inc()
+	if s.rec == nil || s.cfg.RejectBurst <= 0 {
+		return
+	}
+	now := s.now()
+	s.mu.Lock()
+	if now.Sub(s.rejWindow) > time.Second {
+		s.rejWindow = now
+		s.rejCount = 0
+	}
+	s.rejCount++
+	fire := s.rejCount == s.cfg.RejectBurst
+	count := s.rejCount
+	queued := s.pool.Queued()
+	s.mu.Unlock()
+	if fire {
+		s.rec.Record(obsv.FlightEntry{
+			Time:   now,
+			Reason: "reject_burst",
+			Detail: map[string]any{
+				"rejections_in_window": count,
+				"window_ms":            1000,
+				"queued":               queued,
+				"queue_cap":            s.cfg.QueueDepth,
+			},
+		})
+		s.met.flight.Inc()
+	}
+}
+
+// FlightRecorder exposes the anomaly ring (nil when disabled).
+func (s *Server) FlightRecorder() *obsv.FlightRecorder { return s.rec }
 
 // writeCheckpoint serializes a drained job's placer state.
 //
@@ -437,6 +649,17 @@ type Health struct {
 	Running  int    `json:"running"`
 	Jobs     int    `json:"jobs"`
 	Draining bool   `json:"draining"`
+	// ActiveWorkers counts pool workers mid-task right now (Running
+	// counts jobs in StateRunning; the two can briefly differ around
+	// state transitions).
+	ActiveWorkers int `json:"active_workers"`
+	// QueueCap is the configured queue bound; Queued/QueueCap is the
+	// backpressure headroom.
+	QueueCap int `json:"queue_cap"`
+	// UptimeSec is seconds since the server started, by its own clock.
+	UptimeSec float64 `json:"uptime_sec"`
+	// FlightRecords is the number of anomaly bundles currently held.
+	FlightRecords int `json:"flight_records"`
 }
 
 // Health returns the current service health.
@@ -461,12 +684,16 @@ func (s *Server) Health() Health {
 		j.mu.Unlock()
 	}
 	h := Health{
-		Status:   "ok",
-		Workers:  s.cfg.Workers,
-		Queued:   s.pool.Queued(),
-		Running:  running,
-		Jobs:     total,
-		Draining: draining,
+		Status:        "ok",
+		Workers:       s.cfg.Workers,
+		Queued:        s.pool.Queued(),
+		Running:       running,
+		Jobs:          total,
+		Draining:      draining,
+		ActiveWorkers: s.pool.Running(),
+		QueueCap:      s.cfg.QueueDepth,
+		UptimeSec:     s.now().Sub(s.started).Seconds(),
+		FlightRecords: s.rec.Len(),
 	}
 	if draining {
 		h.Status = "draining"
