@@ -49,6 +49,11 @@ func main() {
 		exp      = flag.String("exp", "", "experiment: fast, tradeoff, ablation, scaling, step, serve")
 		stepOut  = flag.String("step-out", "", "write the step experiment's JSON document to this file (e.g. BENCH_step.json)")
 		stepIter = flag.Int("step-iter", 60, "max placement transformations per step-experiment run")
+		stepPC   = flag.String("step-preconds", "", "comma-separated preconditioner sweep for the step experiment (default jacobi,ic0,auto; 'none' skips the sweep)")
+		stepFM   = flag.String("step-fields", "", "comma-separated field-method sweep for the step experiment (default fft,rfft; 'none' skips the sweep)")
+		stepChk  = flag.String("step-check", "", "compare the step experiment's hot run against this baseline BENCH_step.json and exit nonzero on regression")
+		stepChkN = flag.Int("step-check-cells", 10000, "cell count of the row the -step-check gate compares")
+		stepTol  = flag.Float64("step-check-tol", 0.20, "allowed fractional hot step-time regression for -step-check")
 		srvJobs  = flag.Int("serve-jobs", 8, "job count for the serve experiment")
 		srvCells = flag.Int("serve-cells", 2000, "cells per job for the serve experiment")
 		srvIter  = flag.Int("serve-iter", 40, "max placement transformations per serve-experiment job")
@@ -168,9 +173,34 @@ func main() {
 			}
 			ns = append(ns, n)
 		}
-		b := bench.RunStepBench(opts, ns, *stepIter)
+		sweep := func(s string) []string {
+			switch s {
+			case "":
+				return nil // bench default
+			case "none":
+				return []string{""}
+			}
+			return splitComma(s)
+		}
+		b := bench.RunStepBench(opts, ns, *stepIter, sweep(*stepPC), sweep(*stepFM))
 		bench.PrintStepBench(os.Stdout, b)
 		fmt.Println()
+		if *stepChk != "" {
+			f, err := os.Open(*stepChk)
+			if err != nil {
+				log.Fatal(err)
+			}
+			baseline, err := bench.ReadStepBench(f)
+			f.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := bench.CheckStepRegression(b, baseline, *stepChkN, *stepTol); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "step-check ok: hot %d-cell step time within +%.0f%% of %s\n",
+				*stepChkN, *stepTol*100, *stepChk)
+		}
 		if *stepOut != "" {
 			f, err := os.Create(*stepOut)
 			if err != nil {

@@ -67,6 +67,8 @@ func main() {
 		plot    = flag.Bool("plot", false, "print an ASCII plot of the result")
 		maxIter = flag.Int("maxiter", 0, "iteration cap (0 = default)")
 		cold    = flag.Bool("cold", false, "disable the hot-path engine (iteration-reuse caches and CG warm start); the A/B baseline for -metrics comparisons")
+		precond = flag.String("precond", "auto", "CG preconditioner: jacobi, ic0, or auto (ic0 above a size threshold)")
+		field   = flag.String("field", "auto", "density field solver: auto, direct, fft, or rfft (real-input FFT)")
 		timeout = flag.Duration("timeout", 0, "wall-time budget for the kraftwerk run (0 = none); on expiry the best placement so far is kept")
 		ckpt    = flag.String("checkpoint", "", "write the iteration state here if the kraftwerk run is interrupted (-timeout or Ctrl-C)")
 		resume  = flag.String("resume", "", "resume a kraftwerk run from a -checkpoint snapshot instead of starting fresh")
@@ -118,6 +120,15 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	pc, ok := sparse.ParsePreconditioner(*precond)
+	if !ok {
+		log.Fatalf("unknown -precond %q (want jacobi, ic0, or auto)", *precond)
+	}
+	fm, ok := density.ParseMethod(*field)
+	if !ok {
+		log.Fatalf("unknown -field %q (want auto, direct, fft, or rfft)", *field)
+	}
+
 	nl, err := load(*in, *aux, *gen, *seed)
 	if err != nil {
 		log.Fatal(err)
@@ -131,7 +142,9 @@ func main() {
 		cfg := place.Config{
 			K: *k, MaxIter: *maxIter,
 			NoReuse: *cold, NoWarmStart: *cold,
-			Spans: spans, Metrics: reg,
+			CG:          sparse.CGOptions{Precond: pc},
+			FieldMethod: fm,
+			Spans:       spans, Metrics: reg,
 		}
 		if trace != nil {
 			// The trace file opens with a self-describing meta record:

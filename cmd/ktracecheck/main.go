@@ -66,6 +66,7 @@ type traceRec struct {
 	Iter       *int     `json:"iter"`
 	HPWL       *float64 `json:"hpwl"`
 	StepNS     *int64   `json:"t_step_ns"`
+	PairNS     *int64   `json:"t_solve_pair_ns"`
 }
 
 func checkTrace(path string) error {
@@ -125,6 +126,12 @@ func checkTrace(path string) error {
 		}
 		if r.StepNS == nil || *r.StepNS <= 0 {
 			return fmt.Errorf("line %d: bad t_step_ns", line)
+		}
+		// t_solve_pair_ns is newer than the rest of the schema; absent is
+		// fine (old traces), but when present the concurrent pair's wall
+		// time must fit inside the whole transformation.
+		if r.PairNS != nil && (*r.PairNS < 0 || *r.PairNS > *r.StepNS) {
+			return fmt.Errorf("line %d: t_solve_pair_ns %d outside [0, t_step_ns=%d]", line, *r.PairNS, *r.StepNS)
 		}
 	}
 	if err := sc.Err(); err != nil {

@@ -7,9 +7,11 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/density"
 	"repro/internal/netgen"
 	"repro/internal/netlist"
 	"repro/internal/place"
+	"repro/internal/sparse"
 )
 
 // StepPhases is one run's per-phase wall time in integer nanoseconds,
@@ -21,18 +23,22 @@ type StepPhases struct {
 	Build  int64 `json:"build_ns"`
 	SolveX int64 `json:"solve_x_ns"`
 	SolveY int64 `json:"solve_y_ns"`
-	Step   int64 `json:"step_ns"`
+	// SolvePair is the concurrent x/y solve pair's wall time; the per-axis
+	// entries are CPU times and can sum past Step when the pair overlaps.
+	SolvePair int64 `json:"solve_pair_ns"`
+	Step      int64 `json:"step_ns"`
 }
 
 func stepPhases(p place.PhaseTotals) StepPhases {
 	return StepPhases{
-		Weight: p.Weight.Nanoseconds(),
-		Gather: p.Gather.Nanoseconds(),
-		Field:  p.Field.Nanoseconds(),
-		Build:  p.Build.Nanoseconds(),
-		SolveX: p.SolveX.Nanoseconds(),
-		SolveY: p.SolveY.Nanoseconds(),
-		Step:   p.Step.Nanoseconds(),
+		Weight:    p.Weight.Nanoseconds(),
+		Gather:    p.Gather.Nanoseconds(),
+		Field:     p.Field.Nanoseconds(),
+		Build:     p.Build.Nanoseconds(),
+		SolveX:    p.SolveX.Nanoseconds(),
+		SolveY:    p.SolveY.Nanoseconds(),
+		SolvePair: p.SolvePair.Nanoseconds(),
+		Step:      p.Step.Nanoseconds(),
 	}
 }
 
@@ -47,13 +53,29 @@ type StepRun struct {
 	Phases     StepPhases `json:"phases"`
 }
 
+// StepVariant is one hot run under an explicit solver-engine
+// configuration of the preconditioner × field-method sweep. All variants
+// run at the engine-default CG tolerance, like the cold/hot baselines.
+// Caveat for the quality columns: a fixed-iteration snapshot far from
+// convergence (the 50k row at 40 of ~300 transformations) is chaotically
+// sensitive, so switching solver engine there shifts HPWL by a few
+// percent in either direction — trajectory divergence, not solver
+// quality. Where trajectories stay aligned (2k/10k) the deltas are
+// below 0.25%, and solver-level equivalence is pinned by unit tests.
+type StepVariant struct {
+	Precond string `json:"precond"`
+	Field   string `json:"field"`
+	StepRun
+}
+
 // StepRow compares the cold (NoReuse + NoWarmStart) and hot (default)
-// engines on one circuit size.
+// engines on one circuit size, plus the solver-engine variant sweep.
 type StepRow struct {
-	Cells int     `json:"cells"`
-	Nets  int     `json:"nets"`
-	Cold  StepRun `json:"cold"`
-	Hot   StepRun `json:"hot"`
+	Cells    int           `json:"cells"`
+	Nets     int           `json:"nets"`
+	Cold     StepRun       `json:"cold"`
+	Hot      StepRun       `json:"hot"`
+	Variants []StepVariant `json:"variants,omitempty"`
 }
 
 // StepBench is the BENCH_step.json document: the hot-path engine's effect on
@@ -69,13 +91,22 @@ type StepBench struct {
 // iteration-reuse cache disabled, hot with the default engine — and records
 // the per-phase time breakdown of each run. Both runs start from identical
 // clones with the same seed, so quality deltas isolate the reuse machinery.
-func RunStepBench(opts Options, sizes []int, maxIter int) StepBench {
+// Every preconds × fields combination then runs hot as a labeled variant;
+// nil slices default to the full jacobi/ic0/auto × fft/rfft sweep, and
+// a single-element []string{""} on both suppresses the sweep.
+func RunStepBench(opts Options, sizes []int, maxIter int, preconds, fields []string) StepBench {
 	opts.setDefaults()
 	if len(sizes) == 0 {
 		sizes = []int{2000, 10000}
 	}
 	if maxIter <= 0 {
 		maxIter = 60
+	}
+	if preconds == nil {
+		preconds = []string{"jacobi", "ic0", "auto"}
+	}
+	if fields == nil {
+		fields = []string{"fft", "rfft"}
 	}
 	b := StepBench{GOMAXPROCS: runtime.GOMAXPROCS(0), Seed: opts.Seed, MaxIter: maxIter}
 	for _, n := range sizes {
@@ -88,24 +119,46 @@ func RunStepBench(opts Options, sizes []int, maxIter int) StepBench {
 			Seed:  opts.Seed,
 		})
 		row := StepRow{Cells: n, Nets: nets}
-		row.Cold = runStep(&opts, base, maxIter, true)
+		row.Cold = runStep(&opts, base, maxIter, true, "", "")
 		opts.logf("step %6d cells cold: %6.2fs  %3d iters (%s)\n",
 			n, row.Cold.WallSec, row.Cold.Iterations, row.Cold.StopReason)
-		row.Hot = runStep(&opts, base, maxIter, false)
+		row.Hot = runStep(&opts, base, maxIter, false, "", "")
 		opts.logf("step %6d cells hot:  %6.2fs  %3d iters (%s)\n",
 			n, row.Hot.WallSec, row.Hot.Iterations, row.Hot.StopReason)
+		for _, pc := range preconds {
+			for _, fm := range fields {
+				if pc == "" && fm == "" {
+					continue
+				}
+				v := StepVariant{Precond: pc, Field: fm}
+				v.StepRun = runStep(&opts, base, maxIter, false, pc, fm)
+				opts.logf("step %6d cells %s/%s: %6.2fs  %3d iters  %6d cg-it (%s)\n",
+					n, pc, fm, v.WallSec, v.Iterations, v.CGIters, v.StopReason)
+				row.Variants = append(row.Variants, v)
+			}
+		}
 		b.Rows = append(b.Rows, row)
 	}
 	return b
 }
 
-func runStep(o *Options, base *netlist.Netlist, maxIter int, cold bool) StepRun {
+func runStep(o *Options, base *netlist.Netlist, maxIter int, cold bool, precond, field string) StepRun {
 	nl := base.Clone()
 	cgIters := 0
+	pc, ok := sparse.ParsePreconditioner(precond)
+	if !ok {
+		return StepRun{StopReason: "error: unknown preconditioner " + precond}
+	}
+	fm, ok := density.ParseMethod(field)
+	if !ok {
+		return StepRun{StopReason: "error: unknown field method " + field}
+	}
 	cfg := o.placeCfg(place.Config{
 		MaxIter:     maxIter,
 		NoReuse:     cold,
 		NoWarmStart: cold,
+		CG:          sparse.CGOptions{Precond: pc},
+		FieldMethod: fm,
 	}, nl)
 	prev := cfg.OnIteration
 	cfg.OnIteration = func(s place.IterStats) {
@@ -141,18 +194,25 @@ func WriteStepBench(w io.Writer, b StepBench) error {
 func PrintStepBench(w io.Writer, b StepBench) {
 	fmt.Fprintf(w, "E10: hot-path engine, cold vs hot (gomaxprocs %d, max %d iters, seed %d)\n",
 		b.GOMAXPROCS, b.MaxIter, b.Seed)
-	fmt.Fprintf(w, "%8s %-5s | %8s %6s %7s | %9s %9s %9s %9s | %9s\n",
+	fmt.Fprintf(w, "%8s %-12s | %8s %6s %7s | %9s %9s %9s %9s | %9s\n",
 		"#cells", "mode", "wall[s]", "iters", "cg-it", "gather", "field", "build", "solve", "step")
 	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
 	for _, r := range b.Rows {
-		for _, m := range []struct {
+		modes := []struct {
 			name string
 			run  StepRun
-		}{{"cold", r.Cold}, {"hot", r.Hot}} {
+		}{{"cold", r.Cold}, {"hot", r.Hot}}
+		for _, v := range r.Variants {
+			modes = append(modes, struct {
+				name string
+				run  StepRun
+			}{v.Precond + "/" + v.Field, v.StepRun})
+		}
+		for _, m := range modes {
 			p := m.run.Phases
-			fmt.Fprintf(w, "%8d %-5s | %8.2f %6d %7d | %8.1fm %8.1fm %8.1fm %8.1fm | %8.1fm\n",
+			fmt.Fprintf(w, "%8d %-12s | %8.2f %6d %7d | %8.1fm %8.1fm %8.1fm %8.1fm | %8.1fm\n",
 				r.Cells, m.name, m.run.WallSec, m.run.Iterations, m.run.CGIters,
-				ms(p.Gather), ms(p.Field), ms(p.Build), ms(p.SolveX+p.SolveY), ms(p.Step))
+				ms(p.Gather), ms(p.Field), ms(p.Build), ms(p.SolvePair), ms(p.Step))
 		}
 		// Per-iteration speedups, so differing stop iterations don't skew the
 		// phase comparison; wall speedup is the end-to-end ratio.
@@ -162,13 +222,63 @@ func PrintStepBench(w io.Writer, b StepBench) {
 			}
 			return (float64(cold) / float64(ci)) / (float64(hot) / float64(hi))
 		}
-		fmt.Fprintf(w, "%8s %-5s | %8.2fx %6s %7s | %8.2fx %8.2fx %8.2fx %8.2fx | %8.2fx\n",
+		// The solve column compares the pair's wall time; older documents
+		// without it degrade to the per-axis sum on both sides.
+		coldSolve, hotSolve := r.Cold.Phases.SolvePair, r.Hot.Phases.SolvePair
+		if coldSolve <= 0 || hotSolve <= 0 {
+			coldSolve = r.Cold.Phases.SolveX + r.Cold.Phases.SolveY
+			hotSolve = r.Hot.Phases.SolveX + r.Hot.Phases.SolveY
+		}
+		fmt.Fprintf(w, "%8s %-12s | %8.2fx %6s %7s | %8.2fx %8.2fx %8.2fx %8.2fx | %8.2fx\n",
 			"", "speed", r.Cold.WallSec/r.Hot.WallSec, "", "",
 			speed(r.Cold.Phases.Gather, r.Hot.Phases.Gather, r.Cold.Iterations, r.Hot.Iterations),
 			speed(r.Cold.Phases.Field, r.Hot.Phases.Field, r.Cold.Iterations, r.Hot.Iterations),
 			speed(r.Cold.Phases.Build, r.Hot.Phases.Build, r.Cold.Iterations, r.Hot.Iterations),
-			speed(r.Cold.Phases.SolveX+r.Cold.Phases.SolveY, r.Hot.Phases.SolveX+r.Hot.Phases.SolveY,
-				r.Cold.Iterations, r.Hot.Iterations),
+			speed(coldSolve, hotSolve, r.Cold.Iterations, r.Hot.Iterations),
 			speed(r.Cold.Phases.Step, r.Hot.Phases.Step, r.Cold.Iterations, r.Hot.Iterations))
 	}
+}
+
+// ReadStepBench parses a BENCH_step.json document.
+func ReadStepBench(r io.Reader) (StepBench, error) {
+	var b StepBench
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return StepBench{}, fmt.Errorf("step bench document: %w", err)
+	}
+	return b, nil
+}
+
+// CheckStepRegression gates CI on the hot engine's step time: it compares
+// the current hot run at the given cell count against the checked-in
+// baseline document, normalized per iteration so differing -step-iter
+// settings still compare, and errors when the current time exceeds the
+// baseline by more than tol (0.20 = +20%).
+func CheckStepRegression(cur, base StepBench, cells int, tol float64) error {
+	find := func(b StepBench, what string) (StepRun, error) {
+		for _, r := range b.Rows {
+			if r.Cells == cells {
+				return r.Hot, nil
+			}
+		}
+		return StepRun{}, fmt.Errorf("%s document has no %d-cell row", what, cells)
+	}
+	c, err := find(cur, "current")
+	if err != nil {
+		return err
+	}
+	b, err := find(base, "baseline")
+	if err != nil {
+		return err
+	}
+	if c.Iterations <= 0 || b.Iterations <= 0 || c.Phases.Step <= 0 || b.Phases.Step <= 0 {
+		return fmt.Errorf("step regression check needs positive iterations and step_ns (current %d/%d, baseline %d/%d)",
+			c.Iterations, c.Phases.Step, b.Iterations, b.Phases.Step)
+	}
+	curNS := float64(c.Phases.Step) / float64(c.Iterations)
+	baseNS := float64(b.Phases.Step) / float64(b.Iterations)
+	if curNS > baseNS*(1+tol) {
+		return fmt.Errorf("hot step time at %d cells regressed: %.1fms/iter vs baseline %.1fms/iter (+%.0f%% > +%.0f%% budget)",
+			cells, curNS/1e6, baseNS/1e6, 100*(curNS/baseNS-1), 100*tol)
+	}
+	return nil
 }

@@ -29,28 +29,64 @@ const (
 	// FFT evaluates the same convolution on a zero-padded grid in
 	// O(B log B). Requires power-of-two grid dimensions.
 	FFT
+	// RealFFT evaluates the convolution through real-input transforms
+	// (fft.RealPlan): the density map and both kernels are real, so only
+	// the Hermitian half-spectrum is computed and stored — half the
+	// transform flops and spectrum memory of FFT, identical answers to
+	// roundoff. Requires power-of-two grid dimensions.
+	RealFFT
 )
 
+// String returns the method's tag ("auto", "direct", "fft", "rfft").
+func (m Method) String() string {
+	switch m {
+	case Direct:
+		return "direct"
+	case FFT:
+		return "fft"
+	case RealFFT:
+		return "rfft"
+	default:
+		return "auto"
+	}
+}
+
+// ParseMethod maps a tag (as printed by String) back to the method; ok is
+// false for anything unrecognized.
+func ParseMethod(s string) (m Method, ok bool) {
+	switch s {
+	case "auto", "":
+		return Auto, true
+	case "direct":
+		return Direct, true
+	case "fft":
+		return FFT, true
+	case "rfft":
+		return RealFFT, true
+	}
+	return Auto, false
+}
+
 // fieldSeconds times field evaluations per effective method (indexed by
-// Direct/FFT). Nil until EnableMetrics; a nil histogram skips even the
-// clock reads.
-var fieldSeconds [3]*obsv.Histogram
+// Direct/FFT/RealFFT). Nil until EnableMetrics; a nil histogram skips even
+// the clock reads.
+var fieldSeconds [4]*obsv.Histogram
 
 // EnableMetrics registers field-evaluation timing in r:
 //
-//	density_field_seconds{method="direct"|"fft"}
+//	density_field_seconds{method="direct"|"fft"|"rfft"}
 //
 // labeled by the *effective* method (Auto resolves before recording).
 // Passing nil detaches the package from any registry.
 func EnableMetrics(r *obsv.Registry) {
 	if r == nil {
-		fieldSeconds = [3]*obsv.Histogram{}
+		fieldSeconds = [4]*obsv.Histogram{}
 		return
 	}
-	fieldSeconds[Direct] = r.Histogram(`density_field_seconds{method="direct"}`,
-		"force-field evaluation wall time in seconds", obsv.SecondsBuckets)
-	fieldSeconds[FFT] = r.Histogram(`density_field_seconds{method="fft"}`,
-		"force-field evaluation wall time in seconds", obsv.SecondsBuckets)
+	for _, m := range []Method{Direct, FFT, RealFFT} {
+		fieldSeconds[m] = r.Histogram(`density_field_seconds{method="`+m.String()+`"}`,
+			"force-field evaluation wall time in seconds", obsv.SecondsBuckets)
+	}
 }
 
 // ComputeField evaluates the force field of g's current density map.
@@ -69,6 +105,8 @@ func ComputeField(g *Grid, m Method) *Field {
 		f = computeDirect(g)
 	case FFT:
 		f = computeFFT(g)
+	case RealFFT:
+		f = computeRealFFT(g)
 	default:
 		panic("density: unknown field method")
 	}
@@ -137,33 +175,76 @@ func fieldKernels(g *Grid, pw, ph int) (kx, ky []float64) {
 }
 
 // fieldCache is the reusable FFT field solver of one grid: the transform
-// plan, the forward spectra of the two kernels (they depend only on the
-// grid geometry, fixed at construction), and the padded scratch fields.
-// With it, each field solve costs one forward and two inverse transforms
-// instead of four forwards and two inverses, and allocates nothing.
+// plan (complex or real-input), the forward spectra of the two kernels
+// (they depend only on the grid geometry, fixed at construction), and the
+// padded scratch fields. With it, each field solve costs one forward and
+// two inverse transforms instead of four forwards and two inverses, and
+// allocates nothing. The real-input variant stores half-spectra and runs
+// half-size transforms for the same answers to roundoff.
 type fieldCache struct {
 	pw, ph int
-	plan   *fft.Plan
-	specs  [2][]complex128 // forward transforms of Kx, Ky
+	real   bool
+	plan   *fft.Plan     // when !real
+	rplan  *fft.RealPlan // when real
+	specs  [2][]complex128
 	src    []float64
 	out    [2][]float64
 }
 
-func (g *Grid) fieldSolver() *fieldCache {
+func (g *Grid) fieldSolver(realFFT bool) *fieldCache {
 	pw, ph := fft.NextPow2(2*g.NX), fft.NextPow2(2*g.NY)
-	if fc := g.fcache; fc != nil && fc.pw == pw && fc.ph == ph {
+	if fc := g.fcache; fc != nil && fc.pw == pw && fc.ph == ph && fc.real == realFFT {
 		return fc
 	}
 	n := pw * ph
-	fc := &fieldCache{pw: pw, ph: ph, plan: fft.NewPlan(pw, ph), src: make([]float64, n)}
+	fc := &fieldCache{pw: pw, ph: ph, real: realFFT, src: make([]float64, n)}
+	specLen := n
+	if realFFT {
+		fc.rplan = fft.NewRealPlan(pw, ph)
+		specLen = fc.rplan.SpecLen()
+	} else {
+		fc.plan = fft.NewPlan(pw, ph)
+	}
 	kx, ky := fieldKernels(g, pw, ph)
 	for i, k := range [2][]float64{kx, ky} {
-		fc.specs[i] = make([]complex128, n)
-		fc.plan.Spectrum(fc.specs[i], k)
+		fc.specs[i] = make([]complex128, specLen)
+		if realFFT {
+			fc.rplan.Spectrum(fc.specs[i], k)
+		} else {
+			fc.plan.Spectrum(fc.specs[i], k)
+		}
 		fc.out[i] = make([]float64, n)
 	}
 	g.fcache = fc
 	return fc
+}
+
+// solve scatters the density map into the padded source and runs the
+// cached-spectrum convolutions for both kernels.
+func (fc *fieldCache) solve(g *Grid) *Field {
+	pw := fc.pw
+	for i := range fc.src {
+		fc.src[i] = 0
+	}
+	for iy := 0; iy < g.NY; iy++ {
+		for ix := 0; ix < g.NX; ix++ {
+			fc.src[iy*pw+ix] = g.D[g.Idx(ix, iy)]
+		}
+	}
+	if fc.real {
+		fc.rplan.ConvolveSpectra(fc.out[:], fc.src, fc.specs[:])
+	} else {
+		fc.plan.ConvolveSpectra(fc.out[:], fc.src, fc.specs[:])
+	}
+	//lint:ignore hotalloc the Field is the solve's result and escapes to the caller; one backing allocation per field solve, not per bin
+	f := &Field{grid: g, FX: make([]float64, len(g.D)), FY: make([]float64, len(g.D))}
+	for iy := 0; iy < g.NY; iy++ {
+		for ix := 0; ix < g.NX; ix++ {
+			f.FX[g.Idx(ix, iy)] = fc.out[0][iy*pw+ix]
+			f.FY[g.Idx(ix, iy)] = fc.out[1][iy*pw+ix]
+		}
+	}
+	return f
 }
 
 // computeFFT evaluates the same superposition as computeDirect, as a linear
@@ -175,26 +256,17 @@ func computeFFT(g *Grid) *Field {
 	if g.NoCache {
 		return computeFFTCold(g)
 	}
-	fc := g.fieldSolver()
-	pw := fc.pw
-	for i := range fc.src {
-		fc.src[i] = 0
+	return g.fieldSolver(false).solve(g)
+}
+
+// computeRealFFT is computeFFT on the real-input pipeline: identical
+// zero-padding and kernels, half-spectrum transforms. NoCache keeps a cold
+// real-input path so hot-vs-cold stays bit-identical per configuration.
+func computeRealFFT(g *Grid) *Field {
+	if g.NoCache {
+		return computeRealFFTCold(g)
 	}
-	for iy := 0; iy < g.NY; iy++ {
-		for ix := 0; ix < g.NX; ix++ {
-			fc.src[iy*pw+ix] = g.D[g.Idx(ix, iy)]
-		}
-	}
-	fc.plan.ConvolveSpectra(fc.out[:], fc.src, fc.specs[:])
-	//lint:ignore hotalloc the Field is the solve's result and escapes to the caller; one backing allocation per field solve, not per bin
-	f := &Field{grid: g, FX: make([]float64, len(g.D)), FY: make([]float64, len(g.D))}
-	for iy := 0; iy < g.NY; iy++ {
-		for ix := 0; ix < g.NX; ix++ {
-			f.FX[g.Idx(ix, iy)] = fc.out[0][iy*pw+ix]
-			f.FY[g.Idx(ix, iy)] = fc.out[1][iy*pw+ix]
-		}
-	}
-	return f
+	return g.fieldSolver(true).solve(g)
 }
 
 // computeFFTCold is the uncached path: fresh scratch and a full kernel
@@ -218,6 +290,36 @@ func computeFFTCold(g *Grid) *Field {
 		for ix := 0; ix < g.NX; ix++ {
 			f.FX[g.Idx(ix, iy)] = outX[iy*pw+ix]
 			f.FY[g.Idx(ix, iy)] = outY[iy*pw+ix]
+		}
+	}
+	return f
+}
+
+// computeRealFFTCold is the uncached real-input path: a fresh plan, fresh
+// scratch, and full kernel transforms per call. It runs the same spectrum
+// and convolution kernels as the cached path, so hot and cold real-FFT
+// solves are bit-identical, not merely close.
+func computeRealFFTCold(g *Grid) *Field {
+	pw, ph := fft.NextPow2(2*g.NX), fft.NextPow2(2*g.NY)
+	n := pw * ph
+	src := make([]float64, n)
+	for iy := 0; iy < g.NY; iy++ {
+		for ix := 0; ix < g.NX; ix++ {
+			src[iy*pw+ix] = g.D[g.Idx(ix, iy)]
+		}
+	}
+	plan := fft.NewRealPlan(pw, ph)
+	kx, ky := fieldKernels(g, pw, ph)
+	specs := [2][]complex128{make([]complex128, plan.SpecLen()), make([]complex128, plan.SpecLen())}
+	plan.Spectrum(specs[0], kx)
+	plan.Spectrum(specs[1], ky)
+	out := [2][]float64{make([]float64, n), make([]float64, n)}
+	plan.ConvolveSpectra(out[:], src, specs[:])
+	f := &Field{grid: g, FX: make([]float64, len(g.D)), FY: make([]float64, len(g.D))}
+	for iy := 0; iy < g.NY; iy++ {
+		for ix := 0; ix < g.NX; ix++ {
+			f.FX[g.Idx(ix, iy)] = out[0][iy*pw+ix]
+			f.FY[g.Idx(ix, iy)] = out[1][iy*pw+ix]
 		}
 	}
 	return f

@@ -1,0 +1,110 @@
+package density
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/netgen"
+)
+
+// TestRealFFTFieldMatchesComplex pins the real-input field solver against
+// the complex one on the same density map: both evaluate the identical
+// padded convolution, so they must agree to roundoff.
+func TestRealFFTFieldMatchesComplex(t *testing.T) {
+	nl := netgen.Generate(netgen.Config{Name: "r", Cells: 400, Nets: 500, Rows: 8, Seed: 44})
+	netgen.ScatterRandom(nl, 44)
+
+	gc := NewGrid(nl.Region.Outline, 64, 64)
+	gc.Accumulate(nl)
+	gr := NewGrid(nl.Region.Outline, 64, 64)
+	gr.Accumulate(nl)
+
+	fc := ComputeField(gc, FFT)
+	fr := ComputeField(gr, RealFFT)
+	var scale float64
+	for i := range fc.FX {
+		scale = math.Max(scale, math.Max(math.Abs(fc.FX[i]), math.Abs(fc.FY[i])))
+	}
+	for i := range fc.FX {
+		if d := math.Abs(fr.FX[i] - fc.FX[i]); d > 1e-9*(1+scale) {
+			t.Fatalf("FX differs at %d: %g vs %g", i, fr.FX[i], fc.FX[i])
+		}
+		if d := math.Abs(fr.FY[i] - fc.FY[i]); d > 1e-9*(1+scale) {
+			t.Fatalf("FY differs at %d: %g vs %g", i, fr.FY[i], fc.FY[i])
+		}
+	}
+}
+
+// TestRealFFTCachedMatchesColdBitwise: the real-input cold path runs the
+// same spectrum/convolution kernels as the cached one, so hot and cold are
+// bit-identical (a stronger guarantee than the complex paths' 1e-9).
+func TestRealFFTCachedMatchesColdBitwise(t *testing.T) {
+	nl := netgen.Generate(netgen.Config{Name: "rc", Cells: 400, Nets: 500, Rows: 8, Seed: 45})
+	netgen.ScatterRandom(nl, 45)
+
+	hot := NewGrid(nl.Region.Outline, 64, 64)
+	hot.Accumulate(nl)
+	cold := NewGrid(nl.Region.Outline, 64, 64)
+	cold.NoCache = true
+	cold.Accumulate(nl)
+
+	// Two rounds so the second cached solve reuses plan, spectra, scratch.
+	for round := 0; round < 2; round++ {
+		fh := ComputeField(hot, RealFFT)
+		fc := ComputeField(cold, RealFFT)
+		for i := range fh.FX {
+			if math.Float64bits(fh.FX[i]) != math.Float64bits(fc.FX[i]) ||
+				math.Float64bits(fh.FY[i]) != math.Float64bits(fc.FY[i]) {
+				t.Fatalf("round %d: cached and cold real-FFT fields differ at bin %d", round, i)
+			}
+		}
+	}
+}
+
+// TestFieldCacheRekeysOnMethodSwitch: flipping one grid between complex and
+// real solvers must rebuild the cache each time, not replay the other
+// pipeline's spectra.
+func TestFieldCacheRekeysOnMethodSwitch(t *testing.T) {
+	nl := netgen.Generate(netgen.Config{Name: "sw", Cells: 300, Nets: 400, Rows: 8, Seed: 46})
+	netgen.ScatterRandom(nl, 46)
+	g := NewGrid(nl.Region.Outline, 64, 64)
+	g.Accumulate(nl)
+
+	want := ComputeField(g, FFT)
+	mid := ComputeField(g, RealFFT)
+	got := ComputeField(g, FFT)
+
+	var scale float64
+	for i := range want.FX {
+		scale = math.Max(scale, math.Abs(want.FX[i]))
+	}
+	for i := range want.FX {
+		if math.Float64bits(want.FX[i]) != math.Float64bits(got.FX[i]) {
+			t.Fatalf("complex solve after method switch is not reproducible at bin %d", i)
+		}
+		if d := math.Abs(mid.FX[i] - want.FX[i]); d > 1e-9*(1+scale) {
+			t.Fatalf("real solve diverged at bin %d by %g", i, d)
+		}
+	}
+}
+
+func TestMethodStringAndParse(t *testing.T) {
+	for _, tc := range []struct {
+		m   Method
+		tag string
+	}{{Auto, "auto"}, {Direct, "direct"}, {FFT, "fft"}, {RealFFT, "rfft"}} {
+		if tc.m.String() != tc.tag {
+			t.Errorf("%d.String() = %q, want %q", tc.m, tc.m.String(), tc.tag)
+		}
+		m, ok := ParseMethod(tc.tag)
+		if !ok || m != tc.m {
+			t.Errorf("ParseMethod(%q) = %v,%v", tc.tag, m, ok)
+		}
+	}
+	if _, ok := ParseMethod("spectral"); ok {
+		t.Error("ParseMethod accepted an unknown tag")
+	}
+	if m, ok := ParseMethod(""); !ok || m != Auto {
+		t.Error("empty tag must parse as Auto")
+	}
+}

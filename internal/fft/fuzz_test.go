@@ -52,6 +52,63 @@ func FuzzPlanRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzRealPlanRoundTrip checks IRFFT∘RFFT ≈ identity for every
+// power-of-two real plan up to 128×128, and that the half-spectrum agrees
+// with the complex plan's full spectrum on the retained columns — the
+// Hermitian-symmetry contract everything downstream (cached kernel
+// spectra, pointwise products) relies on.
+func FuzzRealPlanRoundTrip(f *testing.F) {
+	f.Add(uint8(0), uint8(6), int64(1), 1.0)   // 1×64 strip
+	f.Add(uint8(7), uint8(1), int64(2), 1.0)   // 128×2 strip
+	f.Add(uint8(0), uint8(0), int64(3), 1.0)   // 1×1 degenerate
+	f.Add(uint8(3), uint8(3), int64(42), 1e6)  // square, large amplitudes
+	f.Add(uint8(5), uint8(4), int64(9), 1e-12) // tiny amplitudes
+	f.Fuzz(func(t *testing.T, wExp, hExp uint8, seed int64, amp float64) {
+		w := 1 << (wExp % 8)
+		h := 1 << (hExp % 8)
+		if !(math.Abs(amp) > 0 && math.Abs(amp) < 1e100) {
+			amp = 1
+		}
+		rng := rand.New(rand.NewSource(seed))
+		src := make([]float64, w*h)
+		maxAbs := 0.0
+		for i := range src {
+			src[i] = amp * (2*rng.Float64() - 1)
+			if a := math.Abs(src[i]); a > maxAbs {
+				maxAbs = a
+			}
+		}
+
+		rp := NewRealPlan(w, h)
+		spec := make([]complex128, rp.SpecLen())
+		rp.Spectrum(spec, src)
+
+		tol := 1e-13 * float64(4+wExp%8+hExp%8) * float64(w*h) * (1 + maxAbs)
+
+		// Half-spectrum must match the complex plan on retained columns.
+		full := make([]complex128, w*h)
+		NewPlan(w, h).Spectrum(full, src)
+		hw := w/2 + 1
+		for y := 0; y < h; y++ {
+			for k := 0; k < hw; k++ {
+				if d := cmplx.Abs(spec[y*hw+k] - full[y*w+k]); d > tol {
+					t.Fatalf("real plan %dx%d: spectrum (%d,%d) off by %g (tol %g)",
+						w, h, k, y, d, tol)
+				}
+			}
+		}
+
+		out := make([]float64, w*h)
+		rp.Inverse(out, spec)
+		for i := range src {
+			if d := math.Abs(out[i] - src[i]); d > tol {
+				t.Fatalf("real plan %dx%d: element %d drifted %g (tol %g) after round trip",
+					w, h, i, d, tol)
+			}
+		}
+	})
+}
+
 // FuzzSpectrumConvolve cross-checks the cached-spectrum convolution against
 // the direct Convolve path on the same plan: both evaluate the same cyclic
 // convolution, so their outputs must agree to roundoff for any kernel.

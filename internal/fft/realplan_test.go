@@ -1,0 +1,180 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/par"
+)
+
+func randomReal(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 2*rng.Float64() - 1
+	}
+	return v
+}
+
+// halfOf extracts the non-redundant (W/2+1)-column half of a full W×H
+// complex spectrum, the layout RealPlan stores.
+func halfOf(full []complex128, w, h int) []complex128 {
+	hw := w/2 + 1
+	half := make([]complex128, hw*h)
+	for y := 0; y < h; y++ {
+		copy(half[y*hw:(y+1)*hw], full[y*w:y*w+hw])
+	}
+	return half
+}
+
+var realPlanSizes = [][2]int{
+	{1, 1}, {2, 1}, {1, 2}, {2, 2}, {4, 2}, {2, 8}, {8, 8},
+	{16, 4}, {1, 16}, {64, 1}, {32, 16}, {64, 64},
+}
+
+// TestRealSpectrumMatchesComplex pins the half-spectrum against the
+// complex plan's full spectrum of the same real input, within 1e-12.
+func TestRealSpectrumMatchesComplex(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for _, sz := range realPlanSizes {
+		w, h := sz[0], sz[1]
+		src := randomReal(rng, w*h)
+
+		full := make([]complex128, w*h)
+		NewPlan(w, h).Spectrum(full, src)
+		want := halfOf(full, w, h)
+
+		rp := NewRealPlan(w, h)
+		got := make([]complex128, rp.SpecLen())
+		rp.Spectrum(got, src)
+
+		for i := range want {
+			if d := cmplx.Abs(got[i] - want[i]); d > 1e-12*float64(1+w*h) {
+				t.Fatalf("%dx%d: spectrum entry %d off by %g", w, h, i, d)
+			}
+		}
+	}
+}
+
+// TestRealInverseRoundTrip pins IRFFT(RFFT(x)) == x within 1e-12 and
+// checks Inverse leaves the spectrum untouched.
+func TestRealInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for _, sz := range realPlanSizes {
+		w, h := sz[0], sz[1]
+		src := randomReal(rng, w*h)
+
+		rp := NewRealPlan(w, h)
+		spec := make([]complex128, rp.SpecLen())
+		rp.Spectrum(spec, src)
+		snap := append([]complex128(nil), spec...)
+
+		out := make([]float64, w*h)
+		rp.Inverse(out, spec)
+		for i := range src {
+			if d := math.Abs(out[i] - src[i]); d > 1e-12*float64(1+w*h) {
+				t.Fatalf("%dx%d: round trip drifted %g at %d", w, h, d, i)
+			}
+		}
+		for i := range spec {
+			if spec[i] != snap[i] {
+				t.Fatalf("%dx%d: Inverse mutated the input spectrum at %d", w, h, i)
+			}
+		}
+	}
+}
+
+// TestRealConvolveSpectraMatchesComplex pins the half-spectrum convolution
+// pipeline against the complex plan's: same src, same two kernels, both
+// answers within 1e-12. This is the exact substitution the density field
+// solver makes.
+func TestRealConvolveSpectraMatchesComplex(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for _, sz := range realPlanSizes {
+		w, h := sz[0], sz[1]
+		src := randomReal(rng, w*h)
+		k1 := randomReal(rng, w*h)
+		k2 := randomReal(rng, w*h)
+
+		cp := NewPlan(w, h)
+		fullSpecs := [][]complex128{make([]complex128, w*h), make([]complex128, w*h)}
+		cp.Spectrum(fullSpecs[0], k1)
+		cp.Spectrum(fullSpecs[1], k2)
+		want := [][]float64{make([]float64, w*h), make([]float64, w*h)}
+		cp.ConvolveSpectra(want, src, fullSpecs)
+
+		rp := NewRealPlan(w, h)
+		halfSpecs := [][]complex128{make([]complex128, rp.SpecLen()), make([]complex128, rp.SpecLen())}
+		rp.Spectrum(halfSpecs[0], k1)
+		rp.Spectrum(halfSpecs[1], k2)
+		got := [][]float64{make([]float64, w*h), make([]float64, w*h)}
+		rp.ConvolveSpectra(got, src, halfSpecs)
+
+		for s := range want {
+			for i := range want[s] {
+				if d := math.Abs(got[s][i] - want[s][i]); d > 1e-12*float64(1+w*h) {
+					t.Fatalf("%dx%d: kernel %d entry %d off by %g", w, h, s, i, d)
+				}
+			}
+		}
+	}
+}
+
+// TestRealConvolveMatchesComplex pins the one-shot Convolve paths against
+// each other.
+func TestRealConvolveMatchesComplex(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	for _, sz := range realPlanSizes {
+		w, h := sz[0], sz[1]
+		src := randomReal(rng, w*h)
+		kernel := randomReal(rng, w*h)
+
+		want := make([]float64, w*h)
+		NewPlan(w, h).Convolve(want, src, kernel)
+		got := make([]float64, w*h)
+		NewRealPlan(w, h).Convolve(got, src, kernel)
+
+		for i := range want {
+			if d := math.Abs(got[i] - want[i]); d > 1e-12*float64(1+w*h) {
+				t.Fatalf("%dx%d: Convolve paths disagree at %d by %g", w, h, i, d)
+			}
+		}
+	}
+}
+
+// TestRealPlanParallelIsBitIdentical forces the parallel fan-out on a grid
+// large enough to split and compares against a serial run of the same
+// kernels (par.Threshold trick, mirroring the density reuse tests).
+func TestRealPlanParallelIsBitIdentical(t *testing.T) {
+	const w, h = 64, 32
+	rng := rand.New(rand.NewSource(55))
+	src := randomReal(rng, w*h)
+
+	run := func() ([]complex128, []float64) {
+		rp := NewRealPlan(w, h)
+		spec := make([]complex128, rp.SpecLen())
+		rp.Spectrum(spec, src)
+		out := make([]float64, w*h)
+		rp.Inverse(out, spec)
+		return spec, out
+	}
+
+	old := par.Threshold
+	par.Threshold = w * h * 2 // force serial
+	serialSpec, serialOut := run()
+	par.Threshold = 1 // force the fan-out
+	parSpec, parOut := run()
+	par.Threshold = old
+
+	for i := range serialSpec {
+		if serialSpec[i] != parSpec[i] {
+			t.Fatalf("spectrum entry %d differs between serial and parallel runs", i)
+		}
+	}
+	for i := range serialOut {
+		if math.Float64bits(serialOut[i]) != math.Float64bits(parOut[i]) {
+			t.Fatalf("inverse entry %d differs between serial and parallel runs", i)
+		}
+	}
+}

@@ -169,18 +169,22 @@ func GraphConfig() callgraph.Config {
 			// Baseline comparison paths, kept deliberately allocation-heavy
 			// (NoCache / Direct method) so the cached path has a reference.
 			"repro/internal/density.computeFFTCold",
+			"repro/internal/density.computeRealFFTCold",
 			"repro/internal/density.computeDirect",
 			// Twiddle/bit-reversal table construction, amortized globally
 			// through tableCache.
 			"repro/internal/fft.NewPlan",
+			"repro/internal/fft.NewRealPlan",
 			// Symbolic rebuild on topology change; steady state replays the
 			// numeric refill through the cached pattern instead. qp.Build is
 			// the uncached one-shot assembly behind the NoReuse baseline flag.
 			"(*repro/internal/qp.Assembler).rebuild",
 			"repro/internal/qp.Build",
-			// Optional IC0 factorization: its triangular solve construction
-			// dwarfs the allocations, and Jacobi is the steady-state default.
-			"repro/internal/sparse.newIC0",
+			// IC0 pattern construction: allocation happens once per sparsity
+			// pattern; the steady state replays alloc-free Refactor calls
+			// through the cached IC0Factor.
+			"repro/internal/sparse.NewIC0Pattern",
+			"repro/internal/sparse.NewIC0",
 		},
 	}
 }

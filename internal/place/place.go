@@ -90,8 +90,8 @@ type Config struct {
 	NoReuse bool
 	// Spans, when set, receives per-phase span recordings
 	// ("place/gather", "place/field", "place/build", "place/solve-x",
-	// "place/solve-y", "place/weight", "place/step") for every placement
-	// transformation. Nil costs nothing.
+	// "place/solve-y", "place/solve-pair", "place/weight", "place/step")
+	// for every placement transformation. Nil costs nothing.
 	Spans *obsv.Spans
 	// Metrics, when set, receives the run's counters and gauges
 	// (place_transformations_total, place_hpwl, place_overflow,
@@ -174,26 +174,29 @@ type IterStats struct {
 	CGResidY float64 `json:"cg_resid_y"` // final relative residual, y solve
 
 	// Per-phase wall times of this transformation. The x and y solves run
-	// concurrently, so TSolveX+TSolveY can exceed TStep; the sequential
-	// phases plus max(TSolveX, TSolveY) are bounded by TStep.
-	TWeight time.Duration `json:"t_weight_ns"` // BeforeTransform (net-weight update)
-	TGather time.Duration `json:"t_gather_ns"` // density accumulation (fine + coarse grids)
-	TField  time.Duration `json:"t_field_ns"`  // Poisson force-field evaluation
-	TBuild  time.Duration `json:"t_build_ns"`  // quadratic system assembly
-	TSolveX time.Duration `json:"t_solve_x_ns"`
-	TSolveY time.Duration `json:"t_solve_y_ns"`
-	TStep   time.Duration `json:"t_step_ns"` // whole transformation
+	// concurrently, so TSolveX+TSolveY can exceed TStep; TSolvePair is the
+	// pair's wall time — the duration the solve phase actually occupies —
+	// and the sequential phases plus TSolvePair are bounded by TStep.
+	TWeight    time.Duration `json:"t_weight_ns"` // BeforeTransform (net-weight update)
+	TGather    time.Duration `json:"t_gather_ns"` // density accumulation (fine + coarse grids)
+	TField     time.Duration `json:"t_field_ns"`  // Poisson force-field evaluation
+	TBuild     time.Duration `json:"t_build_ns"`  // quadratic system assembly
+	TSolveX    time.Duration `json:"t_solve_x_ns"`
+	TSolveY    time.Duration `json:"t_solve_y_ns"`
+	TSolvePair time.Duration `json:"t_solve_pair_ns"` // wall time of the concurrent x/y solve pair
+	TStep      time.Duration `json:"t_step_ns"`       // whole transformation
 }
 
 // PhaseTotals accumulates per-phase durations over a run.
 type PhaseTotals struct {
-	Weight time.Duration
-	Gather time.Duration
-	Field  time.Duration
-	Build  time.Duration
-	SolveX time.Duration
-	SolveY time.Duration
-	Step   time.Duration // total transformation wall time
+	Weight    time.Duration
+	Gather    time.Duration
+	Field     time.Duration
+	Build     time.Duration
+	SolveX    time.Duration
+	SolveY    time.Duration
+	SolvePair time.Duration // wall time of the concurrent solve pairs
+	Step      time.Duration // total transformation wall time
 }
 
 func (p *PhaseTotals) add(s IterStats) {
@@ -203,6 +206,7 @@ func (p *PhaseTotals) add(s IterStats) {
 	p.Build += s.TBuild
 	p.SolveX += s.TSolveX
 	p.SolveY += s.TSolveY
+	p.SolvePair += s.TSolvePair
 	p.Step += s.TStep
 }
 
@@ -601,6 +605,7 @@ func (p *Placer) Step() (IterStats, error) {
 		TBuild:      tBuild,
 		TSolveX:     res.X.Elapsed,
 		TSolveY:     res.Y.Elapsed,
+		TSolvePair:  res.PairWall,
 	}
 	stats.GapProxy = stats.EmptySquare / (cfg.StopSquareFactor * p.avgArea)
 	stats.TStep = stepStart.Elapsed()
@@ -612,6 +617,7 @@ func (p *Placer) Step() (IterStats, error) {
 		sp.Record("place/build", stats.TBuild)
 		sp.Record("place/solve-x", stats.TSolveX)
 		sp.Record("place/solve-y", stats.TSolveY)
+		sp.Record("place/solve-pair", stats.TSolvePair)
 		sp.Record("place/step", stats.TStep)
 	}
 	p.met.steps.Inc()

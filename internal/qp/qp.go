@@ -7,9 +7,11 @@ package qp
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/geom"
 	"repro/internal/netlist"
+	"repro/internal/obsv"
 	"repro/internal/par"
 	"repro/internal/sparse"
 )
@@ -65,6 +67,16 @@ type System struct {
 	// transformations so the steady-state solve allocates nothing.
 	bx, by []float64
 
+	// chol caches the IC0 preconditioner across the solves of one
+	// assembly: the pattern is built once per System (it is fixed by C's
+	// sparsity), the numeric factor is recomputed lazily after each
+	// assembleInto, and both axis solves share it read-only. cholBroken
+	// remembers a pivot breakdown for the current values, so the
+	// Jacobi fallback is decided once per assembly, not per solve.
+	chol       *sparse.IC0Factor
+	cholDirty  bool
+	cholBroken bool
+
 	opts Options
 }
 
@@ -117,6 +129,8 @@ func newSkeleton(nl *netlist.Netlist, opts Options) *System {
 // what lets Assembler replay it against a cached sparsity pattern.
 func (s *System) assembleInto(b *sparse.Builder) {
 	nl := s.nl
+	s.cholDirty = true // values change; the cached factor must refresh
+	s.cholBroken = false
 	for vi := range s.Dx {
 		s.Dx[vi] = 0
 		s.Dy[vi] = 0
@@ -255,6 +269,10 @@ func (s *System) Matrix() *sparse.CSR { return s.C }
 // SolveResult reports both axis solves.
 type SolveResult struct {
 	X, Y sparse.CGResult
+	// PairWall is the wall time of the concurrent x/y solve pair —
+	// smaller than X.Elapsed + Y.Elapsed whenever the axes overlap, and
+	// the number that actually bounds the step time.
+	PairWall time.Duration
 }
 
 // Solve computes the equilibrium C·p + d + e = 0 and writes the resulting
@@ -284,7 +302,7 @@ func (s *System) Solve(forces []geom.Point, opt sparse.CGOptions) (SolveResult, 
 		y[vi] = nl.Cells[ci].Pos.Y
 	}
 	var out SolveResult
-	errX, errY := solveBoth(s.C, x, bx, y, by, opt, &out)
+	errX, errY := s.solveBoth(x, bx, y, by, opt, &out)
 	for vi, ci := range s.CellOf {
 		nl.Cells[ci].Pos = geom.Point{X: x[vi], Y: y[vi]}
 	}
@@ -297,14 +315,45 @@ func (s *System) Solve(forces []geom.Point, opt sparse.CGOptions) (SolveResult, 
 	return out, nil
 }
 
-// solveBoth runs the two independent axis solves concurrently; C is shared
-// read-only.
-func solveBoth(c *sparse.CSR, x, bx, y, by []float64, opt sparse.CGOptions, out *SolveResult) (errX, errY error) {
+// solveBoth runs the two independent axis solves concurrently; C and the
+// prepared preconditioner factor are shared read-only.
+func (s *System) solveBoth(x, bx, y, by []float64, opt sparse.CGOptions, out *SolveResult) (errX, errY error) {
+	s.prepPrecond(&opt)
+	start := obsv.StartTimer()
 	par.Pair(
-		func() { out.X, errX = sparse.SolveCG(c, x, bx, opt) },
-		func() { out.Y, errY = sparse.SolveCG(c, y, by, opt) },
+		func() { out.X, errX = sparse.SolveCG(s.C, x, bx, opt) },
+		func() { out.Y, errY = sparse.SolveCG(s.C, y, by, opt) },
 	)
+	out.PairWall = start.Elapsed()
 	return errX, errY
+}
+
+// prepPrecond resolves opt's preconditioner against the cached factor:
+// Auto picks by system size, an IC0 request refactors the cached pattern
+// if the assembly changed since the last solve, and a pivot breakdown
+// downgrades this assembly's solves to Jacobi. Factoring once here keeps
+// the concurrent axis solves from each factoring, and keeps repeated
+// solves of one assembly (timing-driven re-solves) at zero extra cost.
+func (s *System) prepPrecond(opt *sparse.CGOptions) {
+	eff := opt.Precond.Resolve(s.N())
+	opt.Precond = eff
+	opt.Factor = nil
+	if eff != sparse.IC0 {
+		return
+	}
+	if s.chol == nil {
+		s.chol = sparse.NewIC0Pattern(s.C)
+		s.cholDirty = true
+	}
+	if s.cholDirty {
+		s.cholBroken = !s.chol.Refactor(s.C)
+		s.cholDirty = false
+	}
+	if s.cholBroken {
+		opt.Precond = sparse.Jacobi
+		return
+	}
+	opt.Factor = s.chol
 }
 
 // SolveDelta solves C·δ = f for the displacement response to the force
@@ -348,7 +397,7 @@ func (s *System) SolveDeltaFrom(forces []geom.Point, dx0, dy0 []float64, opt spa
 		}
 	}
 	var out SolveResult
-	errX, errY := solveBoth(s.C, dx0, bx, dy0, by, opt, &out)
+	errX, errY := s.solveBoth(dx0, bx, dy0, by, opt, &out)
 	for vi, ci := range s.CellOf {
 		nl.Cells[ci].Pos.X += dx0[vi]
 		nl.Cells[ci].Pos.Y += dy0[vi]
@@ -396,7 +445,7 @@ func (s *System) SolveResidual(forces []geom.Point, opt sparse.CGOptions) (Solve
 	dx := make([]float64, n)
 	dy := make([]float64, n)
 	var out SolveResult
-	errX, errY := solveBoth(s.C, dx, bx, dy, by, opt, &out)
+	errX, errY := s.solveBoth(dx, bx, dy, by, opt, &out)
 	for vi, ci := range s.CellOf {
 		nl.Cells[ci].Pos.X += dx[vi]
 		nl.Cells[ci].Pos.Y += dy[vi]

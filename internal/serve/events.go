@@ -31,12 +31,16 @@ type Event struct {
 }
 
 // eventFrom projects one iteration's stats into the streaming schema.
-// Solve time is the concurrent x/y pair's wall contribution, which is
-// bounded by the larger of the two.
+// Solve time is the concurrent x/y pair's measured wall time; when the
+// stats predate that phase (zero), it degrades to the larger of the two
+// per-axis times, which bounds the pair's wall contribution from below.
 func eventFrom(st place.IterStats) Event {
-	solve := st.TSolveX
-	if st.TSolveY > solve {
-		solve = st.TSolveY
+	solve := st.TSolvePair
+	if solve <= 0 {
+		solve = st.TSolveX
+		if st.TSolveY > solve {
+			solve = st.TSolveY
+		}
 	}
 	return Event{
 		Iter:     st.Iter,

@@ -9,9 +9,11 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/density"
 	"repro/internal/netlist"
 	"repro/internal/obsv"
 	"repro/internal/place"
+	"repro/internal/sparse"
 )
 
 // SubmitRequest is the POST /jobs JSON body. The netlist travels in the
@@ -27,6 +29,12 @@ type SubmitRequest struct {
 	// the job completes with its best placement so far and
 	// stop_reason "deadline". 0 uses the server default.
 	DeadlineMS int `json:"deadline_ms,omitempty"`
+	// Precond selects the CG preconditioner: "jacobi", "ic0", or "auto"
+	// ("" → jacobi, the engine default). Unknown values are a 400.
+	Precond string `json:"precond,omitempty"`
+	// Field selects the density field solver: "auto", "direct", "fft",
+	// or "rfft" ("" → auto). Unknown values are a 400.
+	Field string `json:"field,omitempty"`
 }
 
 // SubmitResponse is the POST /jobs success body.
@@ -90,12 +98,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad netlist: " + err.Error()})
 		return
 	}
+	pc, ok := sparse.ParsePreconditioner(req.Precond)
+	if !ok {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown precond %q (want jacobi, ic0, or auto)", req.Precond)})
+		return
+	}
+	fm, ok := density.ParseMethod(req.Field)
+	if !ok {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown field %q (want auto, direct, fft, or rfft)", req.Field)})
+		return
+	}
 	// A malformed traceparent degrades to a fresh trace, never to a 4xx:
 	// observability must not fail requests.
 	parent, _ := obsv.ParseTraceParent(r.Header.Get("traceparent"))
 	job, err := s.Submit(JobRequest{
-		Netlist:  nl,
-		Config:   place.Config{K: req.K, MaxIter: req.MaxIter},
+		Netlist: nl,
+		Config: place.Config{
+			K: req.K, MaxIter: req.MaxIter,
+			CG:          sparse.CGOptions{Precond: pc},
+			FieldMethod: fm,
+		},
 		Deadline: time.Duration(req.DeadlineMS) * time.Millisecond,
 		Trace:    parent,
 		Accept:   sw.Elapsed(),

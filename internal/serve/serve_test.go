@@ -512,3 +512,31 @@ func TestResultNotReady(t *testing.T) {
 	close(gate)
 	pollTerminal(t, hs.URL, job.ID())
 }
+
+// TestSubmitSolverKnobs: the precond/field request fields select the v2
+// solver engine per job, and unknown values are rejected up front with a
+// 400 rather than queued.
+func TestSubmitSolverKnobs(t *testing.T) {
+	_, hs := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	text := netlistText(t, testNetlist(200, 7))
+
+	code, sr := postJob(t, hs.URL, SubmitRequest{
+		Netlist: text, MaxIter: 10, Precond: "ic0", Field: "rfft",
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit with solver knobs: %d", code)
+	}
+	if st := pollTerminal(t, hs.URL, sr.ID); st.State != StateDone {
+		t.Fatalf("state %q (err %q), want done", st.State, st.Error)
+	}
+	assertLegalResult(t, hs.URL, sr.ID)
+
+	for _, req := range []SubmitRequest{
+		{Netlist: text, Precond: "ilu"},
+		{Netlist: text, Field: "spectral"},
+	} {
+		if code, _ := postJob(t, hs.URL, req); code != http.StatusBadRequest {
+			t.Fatalf("bad knob %q/%q accepted with %d, want 400", req.Precond, req.Field, code)
+		}
+	}
+}

@@ -19,16 +19,53 @@ const (
 	// placers): fewer iterations, a sequential triangular solve each.
 	// Falls back to Jacobi when the factorization breaks down.
 	IC0
+	// Auto picks per solve: IC0 for systems of at least AutoIC0Threshold
+	// unknowns (where the iteration-count savings dominate the triangular
+	// solves), Jacobi below it.
+	Auto
 )
 
-// String returns the preconditioner's metrics tag.
+// AutoIC0Threshold is the system size at which Auto switches from Jacobi
+// to IC0. Below it the Jacobi solves are already cheap and the
+// factorization overhead is not worth amortizing.
+const AutoIC0Threshold = 5000
+
+// String returns the preconditioner's tag ("jacobi", "ic0", or "auto").
 func (p Preconditioner) String() string {
 	switch p {
 	case IC0:
 		return "ic0"
+	case Auto:
+		return "auto"
 	default:
 		return "jacobi"
 	}
+}
+
+// ParsePreconditioner maps a tag (as printed by String) back to the
+// preconditioner; ok is false for anything unrecognized.
+func ParsePreconditioner(s string) (p Preconditioner, ok bool) {
+	switch s {
+	case "jacobi", "":
+		return Jacobi, true
+	case "ic0":
+		return IC0, true
+	case "auto":
+		return Auto, true
+	}
+	return Jacobi, false
+}
+
+// Resolve maps Auto to the concrete preconditioner for an n-unknown
+// system; Jacobi and IC0 resolve to themselves.
+func (p Preconditioner) Resolve(n int) Preconditioner {
+	if p == Auto {
+		if n >= AutoIC0Threshold {
+			return IC0
+		}
+		return Jacobi
+	}
+	return p
 }
 
 // cgMetrics holds the package's metric handles, one set per effective
@@ -81,6 +118,12 @@ type CGOptions struct {
 	MaxIter int
 	// Precond selects the preconditioner (default Jacobi).
 	Precond Preconditioner
+	// Factor, when non-nil and Precond resolves to IC0, is a
+	// pre-refactored IC0 factor to apply instead of factoring inside the
+	// solve. Callers that solve several right-hand sides against one
+	// matrix (the placer's x/y axis pair) share a single factor this way;
+	// Apply is read-only, so concurrent solves may share it.
+	Factor *IC0Factor
 }
 
 // CGResult reports how a solve went.
@@ -88,7 +131,8 @@ type CGResult struct {
 	Iterations int
 	Residual   float64 // final relative residual
 	Converged  bool
-	Elapsed    time.Duration // solve wall time
+	Elapsed    time.Duration  // solve wall time
+	Precond    Preconditioner // effective preconditioner (after Auto/fallback)
 }
 
 // ErrNotConverged is returned when CG hits MaxIter above tolerance. The
@@ -114,9 +158,13 @@ func SolveCG(m *CSR, x, b []float64, opt CGOptions) (res CGResult, err error) {
 		}
 	}
 
-	var chol *ic0
-	if opt.Precond == IC0 {
-		chol = newIC0(m) // nil on breakdown → Jacobi fallback
+	var chol *IC0Factor
+	if opt.Precond.Resolve(n) == IC0 {
+		if opt.Factor != nil && opt.Factor.N() == n {
+			chol = opt.Factor
+		} else {
+			chol = NewIC0(m) // nil on breakdown → Jacobi fallback
+		}
 	}
 	eff := Jacobi // effective preconditioner, the metrics tag
 	if chol != nil {
@@ -126,6 +174,7 @@ func SolveCG(m *CSR, x, b []float64, opt CGOptions) (res CGResult, err error) {
 	//lint:ignore hotalloc metrics defer: one closure per solve, recording after the result is known
 	defer func() {
 		res.Elapsed = start.Elapsed()
+		res.Precond = eff
 		mt := &metrics[eff]
 		mt.solves.Inc()
 		mt.iterations.Add(int64(res.Iterations))
@@ -147,7 +196,7 @@ func SolveCG(m *CSR, x, b []float64, opt CGOptions) (res CGResult, err error) {
 	//lint:ignore hotalloc one closure per solve selecting the preconditioner; hoisting it would thread chol/invDiag through every call site
 	precond := func(z, r []float64) {
 		if chol != nil {
-			chol.apply(z, r)
+			chol.Apply(z, r)
 			return
 		}
 		for i := range z {

@@ -63,6 +63,10 @@ func sameCSR(a, b *CSR) bool {
 //     and sums duplicates in sorted rather than insertion order).
 //  4. Changing the triplet shape makes Refill report false instead of
 //     silently scattering into the wrong slots.
+//  5. IC0 refactorization through a cached pattern is bit-identical to a
+//     fresh factorization of the refilled matrix (the hot-path contract
+//     qp's preconditioner cache relies on), on an SPD symmetrization of
+//     the fuzzed triplets.
 func FuzzSymbolicRefill(f *testing.F) {
 	f.Add([]byte{3, 0, 1, 8, 1, 0, 8, 2, 2, 16})           // small symmetric-ish
 	f.Add([]byte{0, 0, 0, 4, 0, 0, 252})                   // duplicate that cancels to zero
@@ -127,6 +131,64 @@ func FuzzSymbolicRefill(f *testing.F) {
 		b.Add(0, 0, 1) // extra triplet: row 0 is now longer than the pattern
 		if sym.Refill(m2, b) {
 			t.Fatal("Refill accepted a longer triplet sequence")
+		}
+
+		// (5) IC0 refactorization through a cached pattern == fresh factor
+		// of the refilled matrix, bitwise. The fuzzed triplets are
+		// symmetrized into a diagonally dominant SPD spring system so the
+		// factorization is expected to exist; if it still breaks down, the
+		// cached pattern and the fresh factorization must at least agree
+		// that it did.
+		addSPD := func(sb *Builder, scale float64) {
+			for k := range is {
+				if is[k] == js[k] {
+					continue
+				}
+				w := (math.Abs(vs[k]) + 0.25) * scale
+				sb.AddSym(is[k], js[k], -w)
+				sb.Add(is[k], is[k], w)
+				sb.Add(js[k], js[k], w)
+			}
+			for i := 0; i < n; i++ {
+				sb.Add(i, i, 1)
+			}
+		}
+		sb := NewBuilder(n)
+		addSPD(sb, 1)
+		sm, ssym := sb.BuildSymbolic()
+		pat := NewIC0Pattern(sm)
+		for round, scale := range []float64{1, 1.75} {
+			if round > 0 {
+				sb.Reset()
+				addSPD(sb, scale)
+				if !ssym.Refill(sm, sb) {
+					t.Fatal("SPD refill rejected")
+				}
+			}
+			ok := pat.Refactor(sm)
+			fresh := NewIC0(sm)
+			if ok != (fresh != nil) {
+				t.Fatalf("round %d: Refactor ok=%v but NewIC0 nil=%v", round, ok, fresh == nil)
+			}
+			if !ok {
+				continue
+			}
+			if !sameFactor(pat, fresh) {
+				t.Fatalf("round %d: refactor-vs-fresh-factor not bit-identical", round)
+			}
+			// The factor must actually precondition: applying it to a
+			// finite vector stays finite.
+			r := make([]float64, n)
+			z := make([]float64, n)
+			for i := range r {
+				r[i] = float64(i%5) - 2
+			}
+			pat.Apply(z, r)
+			for i, v := range z {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("round %d: Apply produced non-finite z[%d]=%v", round, i, v)
+				}
+			}
 		}
 	})
 }

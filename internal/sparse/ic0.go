@@ -2,87 +2,154 @@ package sparse
 
 import "math"
 
-// ic0 is a zero-fill incomplete Cholesky factorization: L has exactly the
-// sparsity of the matrix's lower triangle and L·Lᵀ ≈ M. GORDIAN-era
+// IC0Factor is a zero-fill incomplete Cholesky factorization: L has exactly
+// the sparsity of the matrix's lower triangle and L·Lᵀ ≈ M. GORDIAN-era
 // analytical placers ran conjugate gradients with exactly this
 // preconditioner (ICCG); it typically halves the iteration count of Jacobi
 // on placement matrices at the cost of a sequential triangular solve per
 // iteration.
-type ic0 struct {
+//
+// The factor is split symbolically/numerically the same way Builder/
+// Symbolic split matrix assembly: NewIC0Pattern records the strict-lower
+// pattern and the value-source mapping once, and Refactor re-derives the
+// numeric factor from the matrix's current values with no allocation and no
+// position lookups — the dot products walk the two sorted rows directly.
+// Placement matrices are refilled (same pattern, new spring weights) on
+// every transformation, so the steady state is one Refactor per assembly.
+type IC0Factor struct {
 	n      int
-	rowPtr []int
-	cols   []int // column indices, strictly below the diagonal, ascending
+	rowPtr []int32
+	cols   []int32 // column indices, strictly below the diagonal, ascending
 	vals   []float64
 	diag   []float64 // L's diagonal entries
+
+	// src maps factor entry k to the matrix value index it refills from;
+	// dsrc maps row i to its diagonal's matrix value index (-1 when the
+	// row has no stored diagonal, which Refactor reports as a breakdown).
+	src  []int32
+	dsrc []int32
 }
 
-// newIC0 factors m. Returns nil when the factorization breaks down (a
-// non-positive pivot), in which case the caller should fall back to Jacobi.
-func newIC0(m *CSR) *ic0 {
+// NewIC0Pattern records the strict-lower-triangle pattern of m and the
+// value-source mapping Refactor scatters from. The pattern stays valid for
+// any matrix refilled through the same sparse.Symbolic (identical rowPtr and
+// cols); the values are free to change.
+func NewIC0Pattern(m *CSR) *IC0Factor {
 	n := m.N()
-	f := &ic0{n: n, rowPtr: make([]int, n+1), diag: make([]float64, n)}
-	// Gather the strict lower triangle.
+	f := &IC0Factor{
+		n:      n,
+		rowPtr: make([]int32, n+1),
+		diag:   make([]float64, n),
+		dsrc:   make([]int32, n),
+	}
 	for i := 0; i < n; i++ {
+		f.dsrc[i] = -1
 		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
-			if m.cols[k] < i {
-				f.cols = append(f.cols, m.cols[k])
-				f.vals = append(f.vals, m.vals[k])
+			switch c := m.cols[k]; {
+			case c < i:
+				f.cols = append(f.cols, int32(c))
+				f.src = append(f.src, int32(k))
+			case c == i:
+				f.dsrc[i] = int32(k)
 			}
 		}
-		f.rowPtr[i+1] = len(f.cols)
+		f.rowPtr[i+1] = int32(len(f.cols))
 	}
-	// Column-index lookup per row for the dot products.
-	pos := make(map[[2]int]int, len(f.cols))
-	for i := 0; i < n; i++ {
-		for k := f.rowPtr[i]; k < f.rowPtr[i+1]; k++ {
-			pos[[2]int{i, f.cols[k]}] = k
-		}
-	}
-	for i := 0; i < n; i++ {
-		// Off-diagonal entries of row i.
-		for k := f.rowPtr[i]; k < f.rowPtr[i+1]; k++ {
-			j := f.cols[k]
-			s := f.vals[k]
-			// s -= Σ_{t<j} L[i][t]·L[j][t] over shared sparsity.
-			for kk := f.rowPtr[i]; kk < k; kk++ {
-				t := f.cols[kk]
-				if jj, ok := pos[[2]int{j, t}]; ok {
-					s -= f.vals[kk] * f.vals[jj]
-				}
-			}
-			if f.diag[j] == 0 {
-				return nil
-			}
-			f.vals[k] = s / f.diag[j]
-		}
-		// Diagonal.
-		d := m.At(i, i)
-		for k := f.rowPtr[i]; k < f.rowPtr[i+1]; k++ {
-			d -= f.vals[k] * f.vals[k]
-		}
-		if d <= 0 || math.IsNaN(d) {
-			return nil
-		}
-		f.diag[i] = math.Sqrt(d)
+	f.vals = make([]float64, len(f.cols))
+	return f
+}
+
+// NewIC0 factors m in one shot. Returns nil when the factorization breaks
+// down (a non-positive pivot), in which case the caller should fall back to
+// Jacobi preconditioning.
+func NewIC0(m *CSR) *IC0Factor {
+	f := NewIC0Pattern(m)
+	if !f.Refactor(m) {
+		return nil
 	}
 	return f
 }
 
-// apply solves L·Lᵀ·z = r (the preconditioner application).
-func (f *ic0) apply(z, r []float64) {
+// Refactor recomputes the numeric factor from m's current values through
+// the recorded pattern. m must have the exact sparsity NewIC0Pattern saw
+// (the Symbolic.Refill contract); only the values may differ. It reports
+// false on breakdown (a non-positive or NaN pivot) — the factor's values
+// are then unspecified and the caller must fall back to Jacobi until the
+// next refill. Refactor allocates nothing.
+func (f *IC0Factor) Refactor(m *CSR) bool {
+	// Load the raw strict-lower values; row i's raw values are consumed
+	// exactly when row i is eliminated, and rows j < i already hold L.
+	mv := m.vals
+	for k, s := range f.src {
+		f.vals[k] = mv[s]
+	}
+	rp, cols, vals, diag := f.rowPtr, f.cols, f.vals, f.diag
+	for i := 0; i < f.n; i++ {
+		lo, hi := rp[i], rp[i+1]
+		// Off-diagonal entries of row i, in ascending column order.
+		for k := lo; k < hi; k++ {
+			j := cols[k]
+			s := vals[k]
+			// s -= Σ_{t<j} L[i][t]·L[j][t] over shared sparsity: both rows
+			// are sorted, so the intersection is a two-pointer merge — row
+			// i's entries before k all have column < j, and row j's entries
+			// are strictly below j by construction.
+			a, b := lo, rp[j]
+			bHi := rp[j+1]
+			for a < k && b < bHi {
+				switch ca, cb := cols[a], cols[b]; {
+				case ca == cb:
+					s -= vals[a] * vals[b]
+					a++
+					b++
+				case ca < cb:
+					a++
+				default:
+					b++
+				}
+			}
+			d := diag[j]
+			if d == 0 {
+				return false
+			}
+			vals[k] = s / d
+		}
+		// Diagonal pivot.
+		var d float64
+		if di := f.dsrc[i]; di >= 0 {
+			d = mv[di]
+		}
+		for k := lo; k < hi; k++ {
+			d -= vals[k] * vals[k]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return false
+		}
+		diag[i] = math.Sqrt(d)
+	}
+	return true
+}
+
+// N returns the factored dimension.
+func (f *IC0Factor) N() int { return f.n }
+
+// Apply solves L·Lᵀ·z = r (the preconditioner application). It only reads
+// the factor, so concurrent solves (the x/y axis pair) may share one.
+func (f *IC0Factor) Apply(z, r []float64) {
+	rp, cols, vals, diag := f.rowPtr, f.cols, f.vals, f.diag
 	// Forward: L·y = r.
 	for i := 0; i < f.n; i++ {
 		s := r[i]
-		for k := f.rowPtr[i]; k < f.rowPtr[i+1]; k++ {
-			s -= f.vals[k] * z[f.cols[k]]
+		for k := rp[i]; k < rp[i+1]; k++ {
+			s -= vals[k] * z[cols[k]]
 		}
-		z[i] = s / f.diag[i]
+		z[i] = s / diag[i]
 	}
 	// Backward: Lᵀ·z = y.
 	for i := f.n - 1; i >= 0; i-- {
-		z[i] /= f.diag[i]
-		for k := f.rowPtr[i]; k < f.rowPtr[i+1]; k++ {
-			z[f.cols[k]] -= f.vals[k] * z[i]
+		z[i] /= diag[i]
+		for k := rp[i]; k < rp[i+1]; k++ {
+			z[cols[k]] -= vals[k] * z[i]
 		}
 	}
 }

@@ -1,0 +1,242 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// sameFactor reports bitwise equality of two factors' numeric content
+// (pattern equality is implied by construction from the same CSR).
+func sameFactor(a, b *IC0Factor) bool {
+	if a.n != b.n || len(a.vals) != len(b.vals) {
+		return false
+	}
+	for k := range a.vals {
+		if math.Float64bits(a.vals[k]) != math.Float64bits(b.vals[k]) {
+			return false
+		}
+	}
+	for i := range a.diag {
+		if math.Float64bits(a.diag[i]) != math.Float64bits(b.diag[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+type spdSpring struct {
+	i, j int
+	w    float64
+}
+
+// randomSPDSprings draws a random diagonally dominant spring system whose
+// Add sequence can be replayed with rescaled weights — the Symbolic.Refill
+// contract needs the identical triplet shape on every fill.
+func randomSPDSprings(rng *rand.Rand, n int) []spdSpring {
+	var ss []spdSpring
+	for k := 0; k < n*3; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		ss = append(ss, spdSpring{i, j, 0.1 + rng.Float64()})
+	}
+	return ss
+}
+
+// fillSPD replays the spring sequence into b with weights scaled by s,
+// plus a unit anchor per row for strict diagonal dominance.
+func fillSPD(b *Builder, n int, ss []spdSpring, s float64) {
+	for _, sp := range ss {
+		w := sp.w * s
+		b.AddSym(sp.i, sp.j, -w)
+		b.Add(sp.i, sp.i, w)
+		b.Add(sp.j, sp.j, w)
+	}
+	for i := 0; i < n; i++ {
+		b.Add(i, i, 1)
+	}
+}
+
+func buildSPDSymbolic(rng *rand.Rand, n int) (*CSR, *Symbolic, *Builder, []spdSpring) {
+	ss := randomSPDSprings(rng, n)
+	b := NewBuilder(n)
+	fillSPD(b, n, ss, 1)
+	m, sym := b.BuildSymbolic()
+	return m, sym, b, ss
+}
+
+func TestIC0RefactorMatchesFreshFactor(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		n := 10 + rng.Intn(120)
+		m, sym, b, ss := buildSPDSymbolic(rng, n)
+
+		f := NewIC0Pattern(m)
+		if !f.Refactor(m) {
+			t.Fatalf("trial %d: refactor broke down on an SPD matrix", trial)
+		}
+		fresh := NewIC0(m)
+		if fresh == nil {
+			t.Fatalf("trial %d: fresh factor broke down", trial)
+		}
+		if !sameFactor(f, fresh) {
+			t.Fatalf("trial %d: pattern+Refactor diverges from one-shot NewIC0", trial)
+		}
+
+		// Refill with scaled weights through the same symbolic pattern,
+		// refactor the cached pattern, and compare against a factor built
+		// from scratch on the refilled matrix: bit-identical.
+		b.Reset()
+		fillSPD(b, n, ss, 0.5+rng.Float64())
+		if !sym.Refill(m, b) {
+			t.Fatalf("trial %d: refill rejected", trial)
+		}
+		if !f.Refactor(m) {
+			t.Fatalf("trial %d: refactor broke down after refill", trial)
+		}
+		fresh2 := NewIC0(m)
+		if fresh2 == nil {
+			t.Fatalf("trial %d: fresh factor broke down after refill", trial)
+		}
+		if !sameFactor(f, fresh2) {
+			t.Fatalf("trial %d: refactor-vs-fresh-factor not bit-identical after refill", trial)
+		}
+	}
+}
+
+func TestIC0RefactorAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m, _, _, _ := buildSPDSymbolic(rng, 200)
+	f := NewIC0Pattern(m)
+	allocs := testing.AllocsPerRun(20, func() {
+		if !f.Refactor(m) {
+			t.Fatal("refactor broke down")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Refactor allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+func TestIC0SharedFactorMatchesPerSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	n := 300
+	m, _, _, _ := buildSPDSymbolic(rng, n)
+	b1 := make([]float64, n)
+	b2 := make([]float64, n)
+	for i := range b1 {
+		b1[i] = rng.NormFloat64()
+		b2[i] = rng.NormFloat64()
+	}
+
+	solve := func(b []float64, f *IC0Factor) ([]float64, CGResult) {
+		x := make([]float64, n)
+		res, err := SolveCG(m, x, b, CGOptions{Tol: 1e-10, Precond: IC0, Factor: f})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return x, res
+	}
+
+	f := NewIC0(m)
+	if f == nil {
+		t.Fatal("factorization broke down")
+	}
+	for _, rhs := range [][]float64{b1, b2} {
+		want, wr := solve(rhs, nil) // per-solve internal factorization
+		got, gr := solve(rhs, f)    // caller-prepared shared factor
+		if wr.Precond != IC0 || gr.Precond != IC0 {
+			t.Fatalf("effective preconditioners: %v %v, want ic0", wr.Precond, gr.Precond)
+		}
+		if wr.Iterations != gr.Iterations {
+			t.Fatalf("iteration counts differ: %d vs %d", wr.Iterations, gr.Iterations)
+		}
+		for i := range want {
+			if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+				t.Fatalf("x[%d] differs bitwise: %v vs %v", i, want[i], got[i])
+			}
+		}
+	}
+}
+
+func TestIC0RefactorBreakdownReported(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddSym(0, 0, 4)
+	b.AddSym(1, 1, 4)
+	b.AddSym(0, 1, 1)
+	m, sym := b.BuildSymbolic()
+	f := NewIC0Pattern(m)
+	if !f.Refactor(m) {
+		t.Fatal("refactor broke down on an SPD matrix")
+	}
+
+	// Refill the same pattern with indefinite values: Refactor must report
+	// breakdown, matching NewIC0's nil on the same matrix.
+	b.Reset()
+	b.AddSym(0, 0, -4)
+	b.AddSym(1, 1, -4)
+	b.AddSym(0, 1, 1)
+	if !sym.Refill(m, b) {
+		t.Fatal("refill rejected")
+	}
+	if f.Refactor(m) {
+		t.Fatal("refactor succeeded on a negative-definite matrix")
+	}
+	if NewIC0(m) != nil {
+		t.Fatal("NewIC0 succeeded on a negative-definite matrix")
+	}
+}
+
+func TestIC0MissingDiagonalIsBreakdown(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddSym(0, 1, 1) // no diagonal entries at all
+	m := b.Build()
+	if NewIC0(m) != nil {
+		t.Fatal("NewIC0 succeeded with no stored diagonal")
+	}
+}
+
+func TestPrecondResolveAndParse(t *testing.T) {
+	if Auto.Resolve(AutoIC0Threshold-1) != Jacobi || Auto.Resolve(AutoIC0Threshold) != IC0 {
+		t.Fatal("Auto threshold resolution wrong")
+	}
+	if Jacobi.Resolve(1<<20) != Jacobi || IC0.Resolve(1) != IC0 {
+		t.Fatal("explicit preconditioners must resolve to themselves")
+	}
+	for _, tc := range []struct {
+		in   string
+		want Preconditioner
+		ok   bool
+	}{
+		{"jacobi", Jacobi, true}, {"", Jacobi, true},
+		{"ic0", IC0, true}, {"auto", Auto, true}, {"cholesky", Jacobi, false},
+	} {
+		p, ok := ParsePreconditioner(tc.in)
+		if p != tc.want || ok != tc.ok {
+			t.Errorf("ParsePreconditioner(%q) = %v,%v want %v,%v", tc.in, p, ok, tc.want, tc.ok)
+		}
+	}
+	if Auto.String() != "auto" {
+		t.Errorf("Auto tag %q", Auto.String())
+	}
+}
+
+func TestAutoPrecondSmallSystemStaysJacobi(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	n := 50
+	m, _, _, _ := buildSPDSymbolic(rng, n)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := make([]float64, n)
+	res, err := SolveCG(m, x, b, CGOptions{Tol: 1e-10, Precond: Auto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Precond != Jacobi {
+		t.Fatalf("Auto on %d unknowns resolved to %v, want jacobi", n, res.Precond)
+	}
+}
