@@ -6,7 +6,11 @@
 // the obsv nil-handle contract (nilsafe) — and, through the
 // interprocedural fact layer, cancellation coverage on the serving path
 // (ctxflow), no blocking under a mutex (lockheld), a zero-alloc
-// place.Step loop (hotalloc) and no dropped errors (errflow).
+// place.Step loop (hotalloc), no dropped errors (errflow) — and the
+// whole-program concurrency-soundness trio: a global lock-acquisition
+// order free of deadlock cycles (lockorder), joined goroutines and
+// received-from channels (golife), and no unsynchronized closure-capture
+// races (sharecap).
 //
 // Usage:
 //
@@ -27,6 +31,8 @@
 //	-sarif file       also write findings as SARIF 2.1.0 to file
 //	-baseline file    drop findings grandfathered by the baseline
 //	-write-baseline f snapshot current findings into f and exit
+//	-stale-baseline   with -baseline, fail when the baseline grandfathers
+//	                  findings that no longer exist
 //
 // Exit status: 0 no findings, 1 findings, 2 operational error.
 package main
@@ -52,6 +58,7 @@ func main() {
 	sarifPath := flag.String("sarif", "", "write findings as SARIF 2.1.0 to this file")
 	baselinePath := flag.String("baseline", "", "suppress findings grandfathered by this baseline file")
 	writeBaseline := flag.String("write-baseline", "", "write current findings to this baseline file and exit")
+	staleBaseline := flag.Bool("stale-baseline", false, "with -baseline, fail when the baseline grandfathers findings that no longer exist")
 	flag.Parse()
 
 	rules := lint.Rules()
@@ -86,6 +93,15 @@ func main() {
 		bl, err := lint.LoadBaseline(*baselinePath)
 		if err != nil {
 			fatal(err)
+		}
+		if *staleBaseline {
+			if stale := lint.StaleBaseline(bl, root, findings); len(stale) > 0 {
+				for _, e := range stale {
+					fmt.Fprintf(os.Stderr, "kvet: stale baseline entry (%d unmatched): %s %s: %s\n", e.Count, e.Analyzer, e.File, e.Message)
+				}
+				fmt.Fprintf(os.Stderr, "kvet: %s grandfathers %d finding class(es) that no longer exist; regenerate it with -write-baseline\n", *baselinePath, len(stale))
+				os.Exit(1)
+			}
 		}
 		var grandfathered int
 		findings, grandfathered = lint.ApplyBaseline(bl, root, findings)
@@ -156,10 +172,11 @@ func main() {
 	}
 }
 
-// printList documents each analyzer with its package policy: which
-// packages it polices and why a finding can appear (or not) in a given
-// directory.
+// printList documents each analyzer with its one-line doc and package
+// policy, sorted by name so the listing is stable as rules are added.
 func printList(rules []lint.Rule) {
+	rules = append([]lint.Rule(nil), rules...)
+	sort.Slice(rules, func(i, j int) bool { return rules[i].Analyzer.Name < rules[j].Analyzer.Name })
 	for _, r := range rules {
 		policy := "all packages"
 		switch {

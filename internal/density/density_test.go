@@ -151,10 +151,10 @@ func TestAutoSelectsByGridSize(t *testing.T) {
 		}
 	}
 	fb := ComputeField(gBig, Auto)
-	ffft := ComputeField(gBig, FFT)
+	ffft := ComputeField(gBig, RealFFT)
 	for i := range fb.FX {
 		if fb.FX[i] != ffft.FX[i] {
-			t.Fatal("Auto on big grid did not match FFT")
+			t.Fatal("Auto on big grid did not match RealFFT")
 		}
 	}
 }

@@ -116,3 +116,30 @@ func ApplyBaseline(bl *Baseline, root string, findings []Finding) (kept []Findin
 	}
 	return kept, grandfathered
 }
+
+// StaleBaseline reports the baseline entries (with counts) that exceed the
+// current findings: grandfather budget nothing consumes. A stale entry
+// means the underlying finding was fixed, so the baseline should shrink —
+// left in place it would silently absorb the next regression of the same
+// class.
+func StaleBaseline(bl *Baseline, root string, findings []Finding) []BaselineEntry {
+	counts := make(map[string]int)
+	for _, f := range findings {
+		counts[baselineKey(f.Analyzer, relTo(root, f.File), f.Message)]++
+	}
+	var stale []BaselineEntry
+	for _, e := range bl.Findings {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		k := baselineKey(e.Analyzer, e.File, e.Message)
+		if left := n - counts[k]; left > 0 {
+			s := e
+			s.Count = left
+			stale = append(stale, s)
+		}
+		counts[k] -= n // consume across duplicate entries of one class
+	}
+	return stale
+}

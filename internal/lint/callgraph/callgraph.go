@@ -91,10 +91,43 @@ type FuncFact struct {
 	// sorted and deduplicated.
 	Callees []string
 
+	// The v3 lock-set and lifecycle facts (see sync.go). All class names
+	// are canonical sync classes; all slices are sorted and deduplicated.
+	//
+	// Acquires lists the lock classes this function acquires directly
+	// (function literals included; `go` bodies included — the spawned
+	// goroutine has its own held set but the acquisition is still this
+	// declaration's code).
+	Acquires []LockSite
+	// LockPairs records direct nested acquisition: Inner taken at Pos
+	// while Outer was held in this body.
+	LockPairs []LockPair
+	// HeldCalls records resolved calls made while a lock class was held.
+	HeldCalls []HeldCall
+	// CallSites records one representative position per resolved
+	// synchronous callee (`go`-spawned calls excluded), for witness paths.
+	CallSites []CallSite
+	// WGWaits / WGDones are WaitGroup classes this function calls
+	// Wait/Done on.
+	WGWaits []string
+	WGDones []string
+	// ChanRecvs / ChanSends / ChanCloses are channel classes this function
+	// receives from, sends on, and closes.
+	ChanRecvs  []string
+	ChanSends  []string
+	ChanCloses []string
+	// Drains are receiver classes a drain-shaped method (Close,
+	// CloseContext, Shutdown, Stop, Drain) is called on.
+	Drains []string
+
 	// MayBlock is the closure union: Blocks of this function and of every
 	// function reachable from it through resolved calls. Filled by
 	// Finalize.
 	MayBlock Class
+	// AcquireSet is the closure union of lock classes acquired by this
+	// function or any function synchronously reachable from it through
+	// CallSites. Filled by Finalize.
+	AcquireSet []string
 	// CtxReachable marks functions reachable from a cancellation root
 	// (place.Run, the serve handlers). Filled by Finalize.
 	CtxReachable bool
@@ -306,6 +339,7 @@ func summarize(pkg *load.Package, decl *ast.FuncDecl, key string, bounded map[st
 		f.Callees = append(f.Callees, k)
 	}
 	sort.Strings(f.Callees)
+	summarizeSync(pkg, decl, f)
 	return f
 }
 

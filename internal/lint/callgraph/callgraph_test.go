@@ -166,6 +166,94 @@ func TestBoundedSuppressesEdge(t *testing.T) {
 	}
 }
 
+func TestAcquireSetCrossPackage(t *testing.T) {
+	_, g := analyzeMulti(t, Config{})
+	aClass := fixtureBase + "/a.Guarded.mu"
+	bClass := fixtureBase + "/b.Holder.mu"
+
+	locked := g.Func(fixtureBase + "/a.Locked")
+	if locked == nil {
+		t.Fatal("no summary for a.Locked")
+	}
+	if !hasString(locked.AcquireSet, aClass) {
+		t.Errorf("a.Locked AcquireSet = %v, want %s", locked.AcquireSet, aClass)
+	}
+
+	// b.Nested acquires its own lock directly and a.Guarded.mu through the
+	// cross-package call; both classes must be in the closed set.
+	nested := g.Func(fixtureBase + "/b.Nested")
+	if nested == nil {
+		t.Fatal("no summary for b.Nested")
+	}
+	for _, class := range []string{aClass, bClass} {
+		if !hasString(nested.AcquireSet, class) {
+			t.Errorf("b.Nested AcquireSet = %v, missing %s", nested.AcquireSet, class)
+		}
+	}
+
+	// The go-spawned call must not extend the spawner's synchronous set —
+	// a goroutine's acquisitions do not happen while the caller runs.
+	spawned := g.Func(fixtureBase + "/b.Spawned")
+	if spawned == nil {
+		t.Fatal("no summary for b.Spawned")
+	}
+	if len(spawned.AcquireSet) != 0 {
+		t.Errorf("b.Spawned AcquireSet = %v, want empty (callee is go-spawned)", spawned.AcquireSet)
+	}
+}
+
+func TestConcEdgeCrossPackage(t *testing.T) {
+	store, g := analyzeMulti(t, Config{})
+	aClass := fixtureBase + "/a.Guarded.mu"
+	bClass := fixtureBase + "/b.Holder.mu"
+
+	conc := g.Conc()
+	if conc == nil {
+		t.Fatal("no ConcFact on the graph")
+	}
+	var edge *LockEdge
+	for i := range conc.Edges {
+		if conc.Edges[i].From == bClass && conc.Edges[i].To == aClass {
+			edge = &conc.Edges[i]
+		}
+	}
+	if edge == nil {
+		t.Fatalf("no %s -> %s edge; edges: %+v", bClass, aClass, conc.Edges)
+	}
+	if len(edge.Path) < 2 {
+		t.Fatalf("cross-package edge should carry a multi-step witness, got %+v", edge.Path)
+	}
+	if want := fixtureBase + "/b.Nested"; edge.Path[0].Func != want {
+		t.Errorf("witness starts at %s, want %s", edge.Path[0].Func, want)
+	}
+	if want := fixtureBase + "/a.Locked"; edge.Path[len(edge.Path)-1].Func != want {
+		t.Errorf("witness ends at %s, want %s", edge.Path[len(edge.Path)-1].Func, want)
+	}
+
+	// No cycle in this fixture: the edge is one-directional.
+	if len(conc.Cycles) != 0 {
+		t.Errorf("acyclic fixture produced cycles: %+v", conc.Cycles)
+	}
+
+	// The singleton fact round-trips through the store under GlobalKey.
+	var round ConcFact
+	if !store.ObjectFact(GlobalKey, &round) {
+		t.Fatal("ConcFact not in store under GlobalKey")
+	}
+	if len(round.Edges) != len(conc.Edges) {
+		t.Errorf("round-tripped ConcFact has %d edges, want %d", len(round.Edges), len(conc.Edges))
+	}
+}
+
+func hasString(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}
+
 func TestStoreRoundTrip(t *testing.T) {
 	store, _ := analyzeMulti(t, Config{})
 	var f FuncFact

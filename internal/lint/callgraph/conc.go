@@ -1,0 +1,346 @@
+// The whole-program concurrency view. Analyzers run per package but lock
+// cycles and goroutine lifecycles are program properties, so Analyze
+// condenses every function's v3 facts into one ConcFact — the global lock
+// graph with witness paths and cycles, plus the program-wide "someone
+// waits on this / receives from this / drains this" sets — and exports it
+// into the fact store under GlobalKey. A per-package pass loads it like
+// any other fact and reports only the findings anchored in its own files.
+package callgraph
+
+import (
+	"go/token"
+	"sort"
+)
+
+// GlobalKey is the store key the singleton ConcFact is exported under. No
+// function key can collide with it (keys are qualified identifiers).
+const GlobalKey = "conc:global"
+
+// WitnessStep is one hop of an inter-procedural witness path: in Func, at
+// Pos, Note happened ("calls g while holding X", "acquires Y").
+type WitnessStep struct {
+	Func string
+	Pos  token.Pos
+	Note string
+}
+
+// LockEdge records "To was acquired while From was held" with one concrete
+// witness path: the first step is the acquisition or held-call in the
+// function that held From, subsequent steps walk the callgraph down to the
+// function that acquires To.
+type LockEdge struct {
+	From string
+	To   string
+	Path []WitnessStep
+}
+
+// LockCycle is one strongly connected set of lock classes, reported as a
+// representative cycle: Edges[i] goes Classes[i] → Classes[(i+1)%n]. A
+// single-class cycle is a self-edge (the class is re-acquired while held).
+type LockCycle struct {
+	Classes []string
+	Edges   []LockEdge
+}
+
+// ConcFact is the condensed whole-program concurrency state.
+type ConcFact struct {
+	// Edges is the global lock-acquisition order graph, sorted by
+	// (From, To).
+	Edges []LockEdge
+	// Cycles lists the lock-order cycles, one representative per strongly
+	// connected component, sorted by first class.
+	Cycles []LockCycle
+	// WaitedWGs are WaitGroup classes some function calls Wait on.
+	WaitedWGs []string
+	// RecvChans are channel classes some function receives from (unary
+	// receive, range, or select).
+	RecvChans []string
+	// Drains are receiver classes a drain-shaped method (Close,
+	// CloseContext, Shutdown, Stop, Drain) is called on.
+	Drains []string
+}
+
+// AFact marks ConcFact as an analysis.Fact.
+func (*ConcFact) AFact() {}
+
+// buildConc condenses the finalized graph into the global concurrency
+// fact. Deterministic: functions iterate in sorted key order, per-function
+// fact slices are sorted at build time, and first-witness-wins resolves
+// duplicate edges identically on every run.
+func buildConc(g *Graph) *ConcFact {
+	cf := &ConcFact{}
+
+	waited := map[string]bool{}
+	recv := map[string]bool{}
+	drains := map[string]bool{}
+	for _, k := range g.order {
+		f := g.funcs[k]
+		for _, c := range f.WGWaits {
+			waited[c] = true
+		}
+		for _, c := range f.ChanRecvs {
+			recv[c] = true
+		}
+		for _, c := range f.Drains {
+			drains[c] = true
+		}
+	}
+	cf.WaitedWGs = sortedSet(waited)
+	cf.RecvChans = sortedSet(recv)
+	cf.Drains = sortedSet(drains)
+
+	// Lock edges: direct nested pairs, then held calls expanded through
+	// the callgraph to every acquisition the callee can reach.
+	type edgeKey struct{ from, to string }
+	edges := map[edgeKey]*LockEdge{}
+	addEdge := func(from, to string, path []WitnessStep) {
+		k := edgeKey{from, to}
+		if _, ok := edges[k]; ok {
+			return
+		}
+		edges[k] = &LockEdge{From: from, To: to, Path: path}
+	}
+	memo := map[string]map[string][]WitnessStep{}
+	for _, k := range g.order {
+		f := g.funcs[k]
+		for _, p := range f.LockPairs {
+			addEdge(p.Outer, p.Inner, []WitnessStep{{
+				Func: k, Pos: p.Pos,
+				Note: "acquires " + ShortClass(p.Inner) + " while holding " + ShortClass(p.Outer),
+			}})
+		}
+		for _, hc := range f.HeldCalls {
+			reach, ok := memo[hc.Callee]
+			if !ok {
+				reach = g.acquirePaths(hc.Callee)
+				memo[hc.Callee] = reach
+			}
+			if len(reach) == 0 {
+				continue
+			}
+			head := WitnessStep{
+				Func: k, Pos: hc.Pos,
+				Note: "calls " + ShortClass(hc.Callee) + " while holding " + ShortClass(hc.Outer),
+			}
+			for _, class := range sortedPathKeys(reach) {
+				path := append([]WitnessStep{head}, reach[class]...)
+				addEdge(hc.Outer, class, path)
+			}
+		}
+	}
+	keys := make([]edgeKey, 0, len(edges))
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].to < keys[j].to
+	})
+	for _, k := range keys {
+		cf.Edges = append(cf.Edges, *edges[k])
+	}
+
+	cf.Cycles = findCycles(cf.Edges)
+	return cf
+}
+
+// acquirePaths walks the synchronous callgraph breadth-first from start
+// and returns, for each lock class reachable from it, the witness path
+// from entering start to the acquisition site. BFS order over sorted
+// CallSites makes the chosen path deterministic (and shortest in hops).
+func (g *Graph) acquirePaths(start string) map[string][]WitnessStep {
+	if g.funcs[start] == nil {
+		return nil
+	}
+	type item struct {
+		key   string
+		steps []WitnessStep
+	}
+	seen := map[string]bool{start: true}
+	out := map[string][]WitnessStep{}
+	queue := []item{{key: start}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		f := g.funcs[it.key]
+		for _, a := range f.Acquires {
+			if _, ok := out[a.Class]; !ok {
+				step := WitnessStep{Func: it.key, Pos: a.Pos, Note: "acquires " + ShortClass(a.Class)}
+				out[a.Class] = append(copySteps(it.steps), step)
+			}
+		}
+		for _, cs := range f.CallSites {
+			if seen[cs.Callee] || g.funcs[cs.Callee] == nil {
+				continue
+			}
+			seen[cs.Callee] = true
+			step := WitnessStep{Func: it.key, Pos: cs.Pos, Note: "calls " + ShortClass(cs.Callee)}
+			queue = append(queue, item{key: cs.Callee, steps: append(copySteps(it.steps), step)})
+		}
+	}
+	return out
+}
+
+func copySteps(s []WitnessStep) []WitnessStep {
+	return append([]WitnessStep(nil), s...)
+}
+
+// findCycles condenses the edge set into strongly connected components
+// (Tarjan) and emits one representative cycle per cyclic component: the
+// shortest cycle through the component's smallest class, so the report is
+// stable under unrelated graph growth.
+func findCycles(edges []LockEdge) []LockCycle {
+	adj := map[string][]string{}
+	byKey := map[[2]string]LockEdge{}
+	nodeSet := map[string]bool{}
+	for _, e := range edges {
+		adj[e.From] = append(adj[e.From], e.To)
+		byKey[[2]string{e.From, e.To}] = e
+		nodeSet[e.From] = true
+		nodeSet[e.To] = true
+	}
+	nodes := sortedSet(nodeSet)
+	for _, n := range nodes {
+		sort.Strings(adj[n])
+	}
+
+	// Tarjan's SCC over the sorted node list.
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var sccs [][]string
+	next := 0
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, comp)
+		}
+	}
+	for _, n := range nodes {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+
+	var cycles []LockCycle
+	for _, comp := range sccs {
+		sort.Strings(comp)
+		if len(comp) == 1 {
+			n := comp[0]
+			if e, ok := byKey[[2]string{n, n}]; ok {
+				cycles = append(cycles, LockCycle{Classes: []string{n}, Edges: []LockEdge{e}})
+			}
+			continue
+		}
+		inComp := map[string]bool{}
+		for _, n := range comp {
+			inComp[n] = true
+		}
+		seq := shortestCycle(comp[0], adj, inComp)
+		if seq == nil {
+			continue
+		}
+		cyc := LockCycle{Classes: seq}
+		for i, c := range seq {
+			cyc.Edges = append(cyc.Edges, byKey[[2]string{c, seq[(i+1)%len(seq)]}])
+		}
+		cycles = append(cycles, cyc)
+	}
+	sort.Slice(cycles, func(i, j int) bool { return cycles[i].Classes[0] < cycles[j].Classes[0] })
+	return cycles
+}
+
+// shortestCycle finds the node sequence of a shortest cycle through start
+// inside the component, by BFS from each successor of start back to start.
+func shortestCycle(start string, adj map[string][]string, inComp map[string]bool) []string {
+	parent := map[string]string{}
+	var found string
+	queue := []string{}
+	for _, s := range adj[start] {
+		if !inComp[s] {
+			continue
+		}
+		if s == start {
+			return []string{start}
+		}
+		if _, ok := parent[s]; !ok {
+			parent[s] = start
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 && found == "" {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range adj[v] {
+			if w == start {
+				found = v
+				break
+			}
+			if !inComp[w] {
+				continue
+			}
+			if _, ok := parent[w]; !ok {
+				parent[w] = v
+				queue = append(queue, w)
+			}
+		}
+	}
+	if found == "" {
+		return nil
+	}
+	var rev []string
+	for v := found; v != start; v = parent[v] {
+		rev = append(rev, v)
+	}
+	seq := []string{start}
+	for i := len(rev) - 1; i >= 0; i-- {
+		seq = append(seq, rev[i])
+	}
+	return seq
+}
+
+func sortedSet(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedPathKeys(m map[string][]WitnessStep) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -56,10 +56,14 @@ func (s *Store) ObjectFact(key string, ptr analysis.Fact) bool {
 type Graph struct {
 	funcs map[string]*FuncFact
 	order []string // sorted keys, for deterministic iteration
+	conc  *ConcFact
 }
 
 // Func returns the summary for key, or nil.
 func (g *Graph) Func(key string) *FuncFact { return g.funcs[key] }
+
+// Conc returns the condensed whole-program concurrency fact.
+func (g *Graph) Conc() *ConcFact { return g.conc }
 
 // Len returns the number of summarized functions.
 func (g *Graph) Len() int { return len(g.order) }
@@ -98,6 +102,8 @@ func Analyze(pkgs []*load.Package, store *Store, cfg Config) *Graph {
 	}
 	sort.Strings(g.order)
 	g.finalize(cfg)
+	g.conc = buildConc(g)
+	store.ExportObjectFact(GlobalKey, g.conc)
 	return g
 }
 
@@ -121,6 +127,35 @@ func (g *Graph) finalize(cfg Config) {
 				}
 			}
 		}
+	}
+
+	// AcquireSet: lock classes acquired here or anywhere synchronously
+	// reachable. Same fixpoint shape as MayBlock, but over CallSites —
+	// `go`-spawned calls must not extend a caller's lock reachability.
+	acq := make(map[string]map[string]bool, len(g.order))
+	for _, k := range g.order {
+		m := make(map[string]bool)
+		for _, a := range g.funcs[k].Acquires {
+			m[a.Class] = true
+		}
+		acq[k] = m
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, k := range g.order {
+			m := acq[k]
+			for _, cs := range g.funcs[k].CallSites {
+				for _, c := range sortedSet(acq[cs.Callee]) {
+					if !m[c] {
+						m[c] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for _, k := range g.order {
+		g.funcs[k].AcquireSet = sortedSet(acq[k])
 	}
 
 	ctxRoots := append([]string(nil), cfg.CtxRoots...)

@@ -1,0 +1,480 @@
+// Lock-set and lifecycle facts: the kvet v3 layer of the per-function
+// summary. Where the v2 fields answer "may this function block", the v3
+// fields answer "which locks does it take, in what nesting order, which
+// calls does it make while holding one, and which completion signals does
+// it produce or consume".
+//
+// Synchronization state is tracked per sync class — a canonical name for
+// "this primitive as addressed through this structure". A field selector
+// canonicalizes to the type declaring the base expression
+// ("repro/internal/serve.Server.mu" covers s.mu on every *Server in the
+// program), a package-level variable to its qualified name, and anything
+// else to a name scoped to the enclosing declaration ("...Submit#errc").
+// Classes deliberately coarsen instances into roles, RacerD-style: two
+// distinct Jobs share the class Job.mu, which is exactly the granularity
+// lock-ordering discipline is stated at — and the reason a class edge is a
+// proof obligation, not a proof.
+package callgraph
+
+import (
+	"bytes"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// LockSite is one direct lock acquisition: the sync class and a
+// representative source position (the first acquisition of that class).
+type LockSite struct {
+	Class string
+	Pos   token.Pos
+}
+
+// LockPair is one direct nested acquisition observed in a function body:
+// Inner was acquired at Pos while Outer was already held.
+type LockPair struct {
+	Outer string
+	Inner string
+	Pos   token.Pos
+}
+
+// HeldCall is one resolved call made while a lock class was held — the
+// seed of an interprocedural lock edge: any class the callee can reach an
+// acquisition of is ordered after Outer.
+type HeldCall struct {
+	Outer  string
+	Callee string
+	Pos    token.Pos
+}
+
+// CallSite is one representative call position per resolved synchronous
+// callee. Unlike Callees it carries positions (for witness paths) and
+// excludes `go`-spawned calls: the spawned goroutine runs with its own
+// held set and must not extend a caller's lock path.
+type CallSite struct {
+	Callee string
+	Pos    token.Pos
+}
+
+// lockKind classifies a call as a lock acquisition or release.
+type lockKind int
+
+const (
+	opNone lockKind = iota
+	opAcquire
+	opRelease
+)
+
+// lockMethodKind maps the sync mutex methods to their held-set effect.
+var lockMethodKind = map[string]lockKind{
+	"(*sync.Mutex).Lock":    opAcquire,
+	"(*sync.RWMutex).Lock":  opAcquire,
+	"(*sync.RWMutex).RLock": opAcquire,
+
+	"(*sync.Mutex).Unlock":    opRelease,
+	"(*sync.RWMutex).Unlock":  opRelease,
+	"(*sync.RWMutex).RUnlock": opRelease,
+}
+
+// drainMethods are method names that read as "stop accepting work and wait
+// for completion" on whatever receiver they are called: a pool submitted
+// to is considered drained when any of these is called on its class.
+var drainMethods = map[string]bool{
+	"Close": true, "CloseContext": true, "Shutdown": true,
+	"Stop": true, "Drain": true,
+}
+
+// SyncClass canonicalizes the expression a synchronization primitive is
+// addressed through into its sync class. Field selectors resolve through
+// go/types selections to the base expression's named type; package-level
+// variables to their qualified name; everything else (locals, parameters,
+// complex expressions) is scoped to the enclosing declaration key with a
+// '#' separator, so classes from different functions never unify.
+func SyncClass(info *types.Info, e ast.Expr, scope string) string {
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.StarExpr:
+		return SyncClass(info, x.X, scope)
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok {
+			if n := namedRecv(sel.Recv()); n != nil && n.Obj().Pkg() != nil {
+				return n.Obj().Pkg().Path() + "." + n.Obj().Name() + "." + x.Sel.Name
+			}
+		}
+		// Package-qualified variable: pkgpath.Var.
+		if obj := info.Uses[x.Sel]; obj != nil {
+			if key := analysis.ObjectKey(obj); key != "" {
+				return key
+			}
+		}
+		return scope + "#" + types.ExprString(x)
+	case *ast.Ident:
+		if obj := info.ObjectOf(x); obj != nil {
+			if key := analysis.ObjectKey(obj); key != "" {
+				return key
+			}
+		}
+		return scope + "#" + x.Name
+	default:
+		return scope + "#" + types.ExprString(e)
+	}
+}
+
+// namedRecv unwraps a pointer and returns the named type underneath, or
+// nil when the receiver is not a (pointer to a) named type.
+func namedRecv(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// LocalClass reports whether a class is scoped to one declaration (a local
+// variable or parameter) rather than a field or package-level name. Local
+// classes only ever unify with uses in the same declaration (function
+// literals included — they inline into the enclosing declaration's scope).
+func LocalClass(class string) bool {
+	return bytes.IndexByte([]byte(class), '#') >= 0
+}
+
+// ShortClass trims import-path directories out of a class or function key
+// for diagnostics: "repro/internal/serve.Server.mu" reads "serve.Server.mu"
+// and "(*repro/internal/par.Pool).Submit" reads "(*par.Pool).Submit".
+func ShortClass(c string) string {
+	b := []byte(c)
+	for {
+		i := bytes.IndexByte(b, '/')
+		if i < 0 {
+			return string(b)
+		}
+		j := i
+		for j > 0 && !shortSep(b[j-1]) {
+			j--
+		}
+		b = append(b[:j], b[i+1:]...)
+	}
+}
+
+func shortSep(c byte) bool {
+	switch c {
+	case '(', '*', '#', ' ', ',':
+		return true
+	}
+	return false
+}
+
+// syncWalker fills the v3 fields of one FuncFact by threading a held-lock
+// set through the function body, lockheld-style: branches are walked with
+// a copy of the held set, a deferred unlock keeps its critical section
+// open to function end, `go` statement bodies are walked under an empty
+// held set (the spawned goroutine does not hold the caller's locks) while
+// still contributing their own acquisitions and signals, and every other
+// function literal inherits the current held set (the immediately-invoked
+// callback idiom: par.Run under a lock runs the closure under that lock).
+type syncWalker struct {
+	info  *types.Info
+	f     *FuncFact
+	scope string
+	seen  map[string]bool
+}
+
+// summarizeSync is the v3 half of summarize: it records lock-set and
+// lifecycle facts into f.
+func summarizeSync(pkg *load.Package, decl *ast.FuncDecl, f *FuncFact) {
+	if decl.Body == nil {
+		return
+	}
+	w := &syncWalker{info: pkg.Info, f: f, scope: f.Key, seen: make(map[string]bool)}
+	w.stmts(decl.Body.List, nil)
+
+	sort.Slice(f.Acquires, func(i, j int) bool { return f.Acquires[i].Class < f.Acquires[j].Class })
+	sort.Slice(f.LockPairs, func(i, j int) bool {
+		a, b := f.LockPairs[i], f.LockPairs[j]
+		if a.Outer != b.Outer {
+			return a.Outer < b.Outer
+		}
+		return a.Inner < b.Inner
+	})
+	sort.Slice(f.HeldCalls, func(i, j int) bool {
+		a, b := f.HeldCalls[i], f.HeldCalls[j]
+		if a.Outer != b.Outer {
+			return a.Outer < b.Outer
+		}
+		return a.Callee < b.Callee
+	})
+	sort.Slice(f.CallSites, func(i, j int) bool { return f.CallSites[i].Callee < f.CallSites[j].Callee })
+	for _, set := range []*[]string{
+		&f.WGWaits, &f.WGDones, &f.ChanRecvs, &f.ChanSends, &f.ChanCloses, &f.Drains,
+	} {
+		sort.Strings(*set)
+	}
+}
+
+// once reports whether key is new, marking it.
+func (w *syncWalker) once(key string) bool {
+	if w.seen[key] {
+		return false
+	}
+	w.seen[key] = true
+	return true
+}
+
+// addClass appends class to the set *dst if not already present (tag keys
+// the dedup namespace per field).
+func (w *syncWalker) addClass(dst *[]string, tag, class string) {
+	if w.once(tag + "\x00" + class) {
+		*dst = append(*dst, class)
+	}
+}
+
+// acquire records one lock acquisition under the current held set and
+// returns the extended set.
+func (w *syncWalker) acquire(class string, pos token.Pos, held []string) []string {
+	if w.once("acq\x00" + class) {
+		w.f.Acquires = append(w.f.Acquires, LockSite{Class: class, Pos: pos})
+	}
+	for _, outer := range held {
+		if w.once("pair\x00" + outer + "\x00" + class) {
+			w.f.LockPairs = append(w.f.LockPairs, LockPair{Outer: outer, Inner: class, Pos: pos})
+		}
+	}
+	return append(held, class)
+}
+
+// release pops the most recent acquisition of class.
+func release(held []string, class string) []string {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i] == class {
+			return append(append([]string(nil), held[:i]...), held[i+1:]...)
+		}
+	}
+	return held
+}
+
+func copyHeldSet(held []string) []string {
+	return append([]string(nil), held...)
+}
+
+// lockOp classifies call as a mutex acquire/release and resolves the
+// receiver's sync class.
+func (w *syncWalker) lockOp(call *ast.CallExpr) (string, lockKind) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", opNone
+	}
+	fn, ok := w.info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", opNone
+	}
+	kind := lockMethodKind[fn.FullName()]
+	if kind == opNone {
+		return "", opNone
+	}
+	return SyncClass(w.info, sel.X, w.scope), kind
+}
+
+func (w *syncWalker) stmts(list []ast.Stmt, held []string) []string {
+	for _, s := range list {
+		held = w.stmt(s, held)
+	}
+	return held
+}
+
+func (w *syncWalker) stmt(s ast.Stmt, held []string) []string {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if class, kind := w.lockOp(call); kind == opAcquire {
+				return w.acquire(class, s.Pos(), held)
+			} else if kind == opRelease {
+				return release(held, class)
+			}
+		}
+		w.expr(s.X, held)
+	case *ast.DeferStmt:
+		if _, kind := w.lockOp(s.Call); kind != opNone {
+			// A deferred unlock keeps the critical section open to function
+			// end; a deferred Lock is nonsense left to vet.
+			break
+		}
+		// Deferred Done/close/funclits still run on this goroutine before
+		// return: record them like any call.
+		w.expr(s.Call, held)
+	case *ast.SendStmt:
+		w.addClass(&w.f.ChanSends, "snd", SyncClass(w.info, s.Chan, w.scope))
+		w.expr(s.Chan, held)
+		w.expr(s.Value, held)
+	case *ast.GoStmt:
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.stmts(lit.Body.List, nil)
+		}
+		for _, a := range s.Call.Args {
+			w.expr(a, held)
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, held)
+		}
+	case *ast.IncDecStmt:
+		w.expr(s.X, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e, held)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	case *ast.BlockStmt:
+		return w.stmts(s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		w.expr(s.Cond, held)
+		w.stmts(s.Body.List, copyHeldSet(held))
+		if s.Else != nil {
+			w.stmt(s.Else, copyHeldSet(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, held)
+		}
+		body := w.stmts(s.Body.List, copyHeldSet(held))
+		if s.Post != nil {
+			w.stmt(s.Post, body)
+		}
+	case *ast.RangeStmt:
+		if tv, ok := w.info.Types[s.X]; ok {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				w.addClass(&w.f.ChanRecvs, "rcv", SyncClass(w.info, s.X, w.scope))
+			}
+		}
+		w.expr(s.X, held)
+		w.stmts(s.Body.List, copyHeldSet(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, held)
+		}
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				for _, e := range cl.List {
+					w.expr(e, held)
+				}
+				w.stmts(cl.Body, copyHeldSet(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CaseClause); ok {
+				w.stmts(cl.Body, copyHeldSet(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			if cl, ok := cc.(*ast.CommClause); ok {
+				h := copyHeldSet(held)
+				if cl.Comm != nil {
+					h = w.stmt(cl.Comm, h)
+				}
+				w.stmts(cl.Body, h)
+			}
+		}
+	}
+	return held
+}
+
+// expr records sync-relevant operations inside an expression evaluated
+// under held: channel receives, calls (WaitGroup ops, closes, drains,
+// resolved callees), and function-literal bodies (inlined under the
+// current held set — statement-level so their own lock regions thread).
+func (w *syncWalker) expr(e ast.Expr, held []string) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.stmts(n.Body.List, copyHeldSet(held))
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.addClass(&w.f.ChanRecvs, "rcv", SyncClass(w.info, n.X, w.scope))
+			}
+		case *ast.CallExpr:
+			w.call(n, held)
+		}
+		return true
+	})
+}
+
+// call records one call expression: builtin close, WaitGroup Wait/Done,
+// drain-shaped methods, and the synchronous call edge with its held set.
+func (w *syncWalker) call(call *ast.CallExpr, held []string) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && len(call.Args) == 1 {
+		if b, ok := w.info.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+			w.addClass(&w.f.ChanCloses, "cls", SyncClass(w.info, call.Args[0], w.scope))
+			return
+		}
+	}
+	var fn *types.Func
+	sel, _ := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if sel != nil {
+		fn, _ = w.info.Uses[sel.Sel].(*types.Func)
+	} else if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		fn, _ = w.info.Uses[id].(*types.Func)
+	}
+	if fn == nil {
+		return
+	}
+	key := fn.FullName()
+	if sel != nil {
+		switch key {
+		case "(*sync.WaitGroup).Wait":
+			w.addClass(&w.f.WGWaits, "wgw", SyncClass(w.info, sel.X, w.scope))
+			return
+		case "(*sync.WaitGroup).Done":
+			w.addClass(&w.f.WGDones, "wgd", SyncClass(w.info, sel.X, w.scope))
+			return
+		}
+		if _, isField := w.info.Selections[sel]; isField && drainMethods[sel.Sel.Name] {
+			w.addClass(&w.f.Drains, "drn", SyncClass(w.info, sel.X, w.scope))
+		}
+	}
+	if fn.Pkg() == nil || fn.Pkg().Path() == "sync" {
+		return // builtins; mutex ops are held-set effects, not edges
+	}
+	if w.once("call\x00" + key) {
+		w.f.CallSites = append(w.f.CallSites, CallSite{Callee: key, Pos: call.Pos()})
+	}
+	for _, outer := range held {
+		if w.once("held\x00" + outer + "\x00" + key) {
+			w.f.HeldCalls = append(w.f.HeldCalls, HeldCall{Outer: outer, Callee: key, Pos: call.Pos()})
+		}
+	}
+}

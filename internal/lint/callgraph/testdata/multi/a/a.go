@@ -4,6 +4,7 @@ package a
 
 import (
 	"context"
+	"sync"
 	"time"
 )
 
@@ -30,3 +31,17 @@ type Counter struct{ n int }
 
 // Bump is a method with a pointer receiver.
 func (c *Counter) Bump() { c.n++ }
+
+// Guarded carries its own lock; acquisitions of g.mu from any caller must
+// coarsen into the one a.Guarded.mu class.
+type Guarded struct {
+	mu sync.Mutex
+	v  int
+}
+
+// Locked acquires the Guarded lock around its bump.
+func Locked(g *Guarded) {
+	g.mu.Lock()
+	g.v++
+	g.mu.Unlock()
+}

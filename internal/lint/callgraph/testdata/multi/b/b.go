@@ -5,6 +5,7 @@ package b
 
 import (
 	"net/http"
+	"sync"
 
 	"repro/internal/lint/callgraph/testdata/multi/a"
 )
@@ -29,4 +30,24 @@ func Fanout(run func(func())) {
 // UsesMethod calls a method across the boundary.
 func UsesMethod(c *a.Counter) {
 	c.Bump()
+}
+
+// Holder has its own lock class on the dependent side.
+type Holder struct {
+	mu sync.Mutex
+}
+
+// Nested calls into a while holding its own lock: the cross-package
+// acquire must land in Nested's AcquireSet and produce a b.Holder.mu ->
+// a.Guarded.mu order edge whose witness path crosses the boundary.
+func Nested(h *Holder, g *a.Guarded) {
+	h.mu.Lock()
+	a.Locked(g)
+	h.mu.Unlock()
+}
+
+// Spawned runs the acquiring callee on its own goroutine, so the
+// acquisition must NOT extend Spawned's synchronous AcquireSet.
+func Spawned(g *a.Guarded) {
+	go a.Locked(g)
 }

@@ -1,0 +1,312 @@
+// Package golife checks goroutine and channel lifecycles: every spawn
+// should have a join, every send a receiver. Three rules:
+//
+//  1. A `go` statement must produce a completion signal someone consumes:
+//     a WaitGroup.Done whose class some function Waits on, or a channel
+//     close/send whose class some function receives from (classes are
+//     callgraph.SyncClass names, so a field WaitGroup like par.Pool.wg
+//     joins across functions and packages through the fact store, and a
+//     local done-channel joins within its declaration). `go m()` resolves
+//     m's signals from its summary fact. A goroutine with no matchable
+//     signal is flagged: it leaks on every call, and -race only sees the
+//     schedules tests happen to run.
+//  2. A task submitted to a par.Pool must have its pool drained somewhere
+//     (Close/CloseContext/Shutdown on the pool's class — par.Pool's
+//     CloseContext drain is the sanctioned shape); otherwise shutdown
+//     abandons queued work.
+//  3. A send on a channel must have a possible receiver: a local channel
+//     whose only uses are sends is flagged (the send blocks forever or the
+//     value is lost), and a send on a field/package channel class no
+//     function receives from is flagged program-wide.
+//
+// Deliberately fire-and-forget goroutines (a debug HTTP server, a
+// best-effort cache warm) are legitimate — suppress with a reasoned
+// //lint:ignore golife. Spawns of functions with no summary fact (stdlib)
+// and signals scoped to another function's locals are skipped rather than
+// guessed at.
+package golife
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/callgraph"
+)
+
+// Analyzer flags unjoined goroutines, undrained pool submissions, and
+// sends without receivers.
+var Analyzer = &analysis.Analyzer{
+	Name:       "golife",
+	Doc:        "flags goroutine spawns never awaited (no WaitGroup.Done/channel signal anyone consumes), par.Pool submissions whose pool is never drained, and channel sends with no receiver; each is a leak or lost work on every call",
+	Run:        run,
+	NeedsFacts: true,
+}
+
+const poolSubmit = "(*repro/internal/par.Pool).Submit"
+
+func run(pass *analysis.Pass) error {
+	if pass.Facts == nil {
+		return nil
+	}
+	var cf callgraph.ConcFact
+	if !pass.Facts.ObjectFact(callgraph.GlobalKey, &cf) {
+		return nil
+	}
+	c := &checker{
+		pass:   pass,
+		waited: toSet(cf.WaitedWGs),
+		recv:   toSet(cf.RecvChans),
+		drains: toSet(cf.Drains),
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if decl, ok := d.(*ast.FuncDecl); ok && decl.Body != nil {
+				c.checkDecl(decl)
+			}
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	waited map[string]bool
+	recv   map[string]bool
+	drains map[string]bool
+}
+
+func toSet(ss []string) map[string]bool {
+	m := make(map[string]bool, len(ss))
+	for _, s := range ss {
+		m[s] = true
+	}
+	return m
+}
+
+func (c *checker) checkDecl(decl *ast.FuncDecl) {
+	scope := callgraph.FuncKey(c.pass.TypesInfo, decl)
+	if scope == "" {
+		return
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			c.checkGo(n, scope)
+		case *ast.CallExpr:
+			c.checkSubmit(n, scope)
+		case *ast.SendStmt:
+			c.checkFieldSend(n, scope)
+		}
+		return true
+	})
+	c.checkLocalChans(decl, scope)
+}
+
+// checkGo verifies one spawn has a consumed completion signal.
+func (c *checker) checkGo(g *ast.GoStmt, scope string) {
+	info := c.pass.TypesInfo
+	var dones, chans []string
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		// Signals produced by the literal body, in the enclosing scope —
+		// the same scoping the fact walker used, so a local done channel
+		// received in this function matches through the global sets.
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && len(call.Args) == 1 {
+				if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+					chans = append(chans, callgraph.SyncClass(info, call.Args[0], scope))
+					return true
+				}
+			}
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fn.FullName() == "(*sync.WaitGroup).Done" {
+					dones = append(dones, callgraph.SyncClass(info, sel.X, scope))
+				}
+			}
+			return true
+		})
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if s, ok := n.(*ast.SendStmt); ok {
+				chans = append(chans, callgraph.SyncClass(info, s.Chan, scope))
+			}
+			return true
+		})
+	} else {
+		// go m(...): read m's summary fact. No fact (stdlib, dynamic call)
+		// means no verdict.
+		key := callgraph.CalleeKey(info, g.Call)
+		if key == "" {
+			return
+		}
+		var fact callgraph.FuncFact
+		if !c.pass.Facts.ObjectFact(key, &fact) {
+			return
+		}
+		dones = fact.WGDones
+		chans = append(append([]string(nil), fact.ChanCloses...), fact.ChanSends...)
+		// Signals on the callee's own locals cannot be matched from here;
+		// if any exist, the join may be internal — stay quiet.
+		for _, s := range append(append([]string(nil), dones...), chans...) {
+			if callgraph.LocalClass(s) {
+				return
+			}
+		}
+	}
+	for _, d := range dones {
+		if c.waited[d] {
+			return
+		}
+	}
+	for _, ch := range chans {
+		if c.recv[ch] {
+			return
+		}
+	}
+	var why string
+	if len(dones)+len(chans) == 0 {
+		why = "it produces no completion signal (no WaitGroup.Done, channel close, or send)"
+	} else {
+		why = "nothing waits on or receives its completion signal (" + shortList(append(dones, chans...)) + ")"
+	}
+	c.pass.Reportf(g.Go, "goroutine is never awaited: %s; it leaks on every call — join it with a WaitGroup or done channel, or suppress with a reasoned //lint:ignore if fire-and-forget is intended", why)
+}
+
+// checkSubmit verifies a par.Pool.Submit target pool is drained somewhere.
+func (c *checker) checkSubmit(call *ast.CallExpr, scope string) {
+	if callgraph.CalleeKey(c.pass.TypesInfo, call) != poolSubmit {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	class := callgraph.SyncClass(c.pass.TypesInfo, sel.X, scope)
+	if c.drains[class] {
+		return
+	}
+	c.pass.Reportf(call.Pos(), "task submitted to pool %s, which is never drained (no Close/CloseContext/Shutdown on that pool anywhere); queued tasks are abandoned on shutdown", callgraph.ShortClass(class))
+}
+
+// checkFieldSend flags sends on field/package channel classes nothing in
+// the program receives from. Local channels are handled per declaration by
+// checkLocalChans, where "never passed anywhere" is decidable.
+func (c *checker) checkFieldSend(s *ast.SendStmt, scope string) {
+	class := callgraph.SyncClass(c.pass.TypesInfo, s.Chan, scope)
+	if callgraph.LocalClass(class) || c.recv[class] {
+		return
+	}
+	c.pass.Reportf(s.Arrow, "send on %s but no function receives from that channel; the send blocks forever (or the value is never consumed)", callgraph.ShortClass(class))
+}
+
+// checkLocalChans flags local channels whose only uses are sends: nothing
+// can ever receive, so the send blocks forever or the value is lost.
+func (c *checker) checkLocalChans(decl *ast.FuncDecl, scope string) {
+	info := c.pass.TypesInfo
+	type usage struct {
+		sends     int
+		consumed  bool // received, closed, defined... anything but a send
+		firstSend token.Pos
+	}
+	uses := map[types.Object]*usage{}
+	lookup := func(e ast.Expr) *usage {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		obj := info.ObjectOf(id)
+		if obj == nil || obj.Pos() < decl.Pos() || obj.Pos() > decl.End() {
+			return nil
+		}
+		if _, isChan := obj.Type().Underlying().(*types.Chan); !isChan {
+			return nil
+		}
+		u := uses[obj]
+		if u == nil {
+			u = &usage{}
+			uses[obj] = u
+		}
+		return u
+	}
+	// First pass: account sends and receives; remember which ident nodes
+	// they consumed so the second pass can classify the rest as escapes.
+	accounted := map[*ast.Ident]bool{}
+	mark := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			accounted[id] = true
+		}
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if u := lookup(n.Chan); u != nil {
+				u.sends++
+				if u.firstSend == token.NoPos {
+					u.firstSend = n.Arrow
+				}
+			}
+			mark(n.Chan)
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if u := lookup(n.X); u != nil {
+					u.consumed = true
+				}
+				mark(n.X)
+			}
+		case *ast.RangeStmt:
+			if u := lookup(n.X); u != nil {
+				u.consumed = true
+			}
+			mark(n.X)
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				for _, l := range n.Lhs {
+					mark(l)
+				}
+			}
+		case *ast.ValueSpec:
+			for _, name := range n.Names {
+				accounted[name] = true
+			}
+		}
+		return true
+	})
+	// Second pass: any unaccounted reference (argument, assignment,
+	// capture by a stored closure, close) counts as a consumer we cannot
+	// rule out.
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || accounted[id] {
+			return true
+		}
+		if u := lookup(id); u != nil {
+			u.consumed = true
+		}
+		return true
+	})
+	var flagged []*usage
+	for _, u := range uses {
+		flagged = append(flagged, u)
+	}
+	sort.Slice(flagged, func(i, j int) bool { return flagged[i].firstSend < flagged[j].firstSend })
+	for _, u := range flagged {
+		if u.sends == 0 || u.consumed {
+			continue
+		}
+		c.pass.Reportf(u.firstSend, "channel is sent on but never received from, closed, or passed anywhere; the send blocks forever (or the value is lost in the buffer)")
+	}
+}
+
+func shortList(classes []string) string {
+	short := make([]string, len(classes))
+	for i, c := range classes {
+		short[i] = callgraph.ShortClass(c)
+	}
+	return strings.Join(short, ", ")
+}

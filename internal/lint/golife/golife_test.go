@@ -1,0 +1,19 @@
+package golife_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/callgraph"
+	"repro/internal/lint/golife"
+)
+
+// TestFixture covers the three lifecycle rules: unjoined `go` spawns (with
+// the interprocedural WaitGroup join through pool.wg staying quiet),
+// undrained par.Pool submissions, and local channels that are only ever
+// sent on.
+func TestFixture(t *testing.T) {
+	analysistest.RunWithConfig(t, "testdata/fixture", golife.Analyzer, callgraph.Config{
+		Bounded: callgraph.DefaultBounded,
+	})
+}

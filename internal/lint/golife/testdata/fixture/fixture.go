@@ -1,0 +1,85 @@
+// The golife fixture: leaked and joined goroutines, including the
+// interprocedural pool shape where the worker's WaitGroup.Done on a field
+// class is matched by a Wait in another function through the fact store,
+// plus lost local channel sends.
+package fixture
+
+import "sync"
+
+func work() {}
+
+func leakLit() {
+	go func() { work() }() // want `goroutine is never awaited: it produces no completion signal`
+}
+
+func leakCall() {
+	go work() // want `goroutine is never awaited: it produces no completion signal`
+}
+
+type pool struct {
+	wg sync.WaitGroup
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	work()
+}
+
+// newPool spawns a worker joined interprocedurally: worker's Done on the
+// field class pool.wg is matched by Close's Wait through the fact store.
+func newPool() *pool {
+	p := &pool{}
+	p.wg.Add(1)
+	go p.worker()
+	return p
+}
+
+func (p *pool) Close() { p.wg.Wait() }
+
+func okClose() {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	<-done
+}
+
+func okSend() int {
+	res := make(chan int, 1)
+	go func() { res <- 1 }()
+	return <-res
+}
+
+func okWG() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func lostSend(v int) {
+	ch := make(chan int, 1)
+	ch <- v // want `channel is sent on but never received from`
+}
+
+func okPassed(sink func(chan int)) {
+	ch := make(chan int, 1)
+	ch <- 1
+	sink(ch) // passed on: a receiver elsewhere cannot be ruled out
+}
+
+func leakSignal() {
+	errs := make(chan error, 1)
+	go func() { // want `goroutine is never awaited: nothing waits on or receives its completion signal`
+		errs <- nil // want `channel is sent on but never received from`
+	}()
+}
+
+func suppressed() {
+	//lint:ignore golife background scrubber runs for process lifetime by design
+	go func() { work() }()
+}

@@ -1,0 +1,31 @@
+package fixture
+
+import (
+	"context"
+
+	"repro/internal/par"
+)
+
+type leaky struct {
+	pool *par.Pool
+}
+
+// submitLeak feeds a pool no code ever drains: its queue dies with the
+// process.
+func (s *leaky) submitLeak() {
+	_ = s.pool.Submit(func() { work() }) // want `task submitted to pool fixture\.leaky\.pool, which is never drained`
+}
+
+type drained struct {
+	pool *par.Pool
+}
+
+func (d *drained) submit() {
+	_ = d.pool.Submit(func() { work() })
+}
+
+// shutdown is the sanctioned drain shape: CloseContext on the same pool
+// class the submissions target.
+func (d *drained) shutdown(ctx context.Context) error {
+	return d.pool.CloseContext(ctx)
+}

@@ -33,12 +33,15 @@ import (
 	"repro/internal/lint/detrange"
 	"repro/internal/lint/errflow"
 	"repro/internal/lint/floatcmp"
+	"repro/internal/lint/golife"
 	"repro/internal/lint/hotalloc"
 	"repro/internal/lint/load"
 	"repro/internal/lint/lockheld"
+	"repro/internal/lint/lockorder"
 	"repro/internal/lint/nilsafe"
 	"repro/internal/lint/noclock"
 	"repro/internal/lint/parpolicy"
+	"repro/internal/lint/sharecap"
 )
 
 // StaleIgnore is the pseudo-analyzer stale-suppression findings are
@@ -109,6 +112,10 @@ func matchAny(pats []string, path string) bool {
 //     through; allocation elsewhere is none of its business.
 //   - errflow applies everywhere: a dropped error hides a failure path
 //     regardless of the package.
+//   - lockorder, golife and sharecap (the v3 concurrency suite) apply
+//     everywhere: a lock-order inversion, a leaked goroutine, or an
+//     unsynchronized captured write is a program property — the analyzers
+//     already anchor each finding to the package that owns the witness.
 //   - staleignore applies everywhere a directive can appear.
 func Rules() []Rule {
 	reporting := []string{
@@ -138,6 +145,9 @@ func Rules() []Rule {
 		{Analyzer: lockheld.Analyzer},
 		{Analyzer: hotalloc.Analyzer, Only: engine},
 		{Analyzer: errflow.Analyzer},
+		{Analyzer: lockorder.Analyzer},
+		{Analyzer: golife.Analyzer},
+		{Analyzer: sharecap.Analyzer},
 		{Analyzer: StaleIgnore},
 	}
 }

@@ -6,8 +6,12 @@ import (
 	"testing"
 
 	"repro/internal/lint"
+	"repro/internal/lint/callgraph"
 	"repro/internal/lint/floatcmp"
+	"repro/internal/lint/golife"
 	"repro/internal/lint/load"
+	"repro/internal/lint/lockorder"
+	"repro/internal/lint/sharecap"
 )
 
 func loadStale(t *testing.T) []*load.Package {
@@ -89,6 +93,85 @@ func TestStaleIgnoreFix(t *testing.T) {
 		if !strings.Contains(string(fixed), "nothing here compares floats either") {
 			t.Errorf("fix deleted the vouched-for directive in kept")
 		}
+	}
+}
+
+// TestStaleIgnoreV3Analyzers runs the concurrency analyzers over a fixture
+// whose golife directive suppresses a real leak (live) while its lockorder
+// and sharecap directives suppress nothing: exactly those two must come
+// back as staleignore findings.
+func TestStaleIgnoreV3Analyzers(t *testing.T) {
+	pkgs, err := load.Load(load.Config{Dir: "testdata/stalev3"}, ".")
+	if err != nil {
+		t.Fatalf("loading stalev3 fixture: %v", err)
+	}
+	rules := []lint.Rule{
+		{Analyzer: lockorder.Analyzer},
+		{Analyzer: golife.Analyzer},
+		{Analyzer: sharecap.Analyzer},
+	}
+	res, err := lint.RunSuite(pkgs, rules, lint.Options{
+		Graph:      &callgraph.Config{Bounded: callgraph.DefaultBounded},
+		CheckStale: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var staleNames []string
+	for _, f := range res.Findings {
+		if f.Analyzer != "staleignore" {
+			t.Errorf("unexpected non-stale finding: %s:%d [%s] %s", f.File, f.Line, f.Analyzer, f.Message)
+			continue
+		}
+		staleNames = append(staleNames, f.Message)
+	}
+	if len(staleNames) != 2 {
+		t.Fatalf("want 2 stale directives (lockorder, sharecap), got %d: %v", len(staleNames), staleNames)
+	}
+	for i, want := range []string{"lockorder", "sharecap"} {
+		if !strings.Contains(staleNames[i], want) {
+			t.Errorf("stale finding %d = %q, want it to name %s", i, staleNames[i], want)
+		}
+	}
+}
+
+// TestStaleBaseline checks that entries whose findings were since fixed
+// are reported with the unmatched count, and a fully consumed baseline
+// reports nothing.
+func TestStaleBaseline(t *testing.T) {
+	res, err := lint.RunSuite(loadStale(t), []lint.Rule{{Analyzer: floatcmp.Analyzer}}, lint.Options{
+		NoFacts:    true,
+		CheckStale: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) == 0 {
+		t.Fatal("fixture yields no findings to baseline")
+	}
+	path := t.TempDir() + "/baseline.json"
+	if err := lint.WriteBaseline(path, "testdata/stale", res.Findings); err != nil {
+		t.Fatal(err)
+	}
+	bl, err := lint.LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stale := lint.StaleBaseline(bl, "testdata/stale", res.Findings); len(stale) != 0 {
+		t.Errorf("fresh baseline reported stale entries: %+v", stale)
+	}
+	// Drop the first finding, as if it were fixed: exactly its entry must
+	// come back, with one unmatched occurrence.
+	fixed := res.Findings[1:]
+	stale := lint.StaleBaseline(bl, "testdata/stale", fixed)
+	if len(stale) != 1 {
+		t.Fatalf("want 1 stale entry after fixing one finding, got %+v", stale)
+	}
+	if stale[0].Count != 1 {
+		t.Errorf("stale entry count = %d, want 1", stale[0].Count)
+	}
+	if want := res.Findings[0].Message; stale[0].Message != want {
+		t.Errorf("stale entry message = %q, want %q", stale[0].Message, want)
 	}
 }
 

@@ -1,0 +1,106 @@
+// Package lockorder detects lock-order deadlock cycles in the global
+// lock-acquisition graph. Nodes are canonical sync classes (Server.mu,
+// Job.mu — see callgraph.SyncClass); an edge A → B means some code path
+// acquires B while holding A, discovered either as a direct nested
+// acquisition or through any chain of synchronous calls (a function called
+// with A held whose callgraph reaches an acquisition of B). A cycle means
+// two goroutines can acquire the same classes in opposite orders and
+// deadlock — the exact inversion lockheld's intra-procedural "nested Lock"
+// heuristic warns about but cannot prove across functions.
+//
+// Each cycle is reported once, in the package holding its first witness
+// site, with the full inter-procedural witness path for every edge spelled
+// out function by function. A one-class cycle is a self-edge: the class is
+// re-acquired while already held, a guaranteed self-deadlock when both
+// acquisitions hit the same instance (sync.Mutex is not reentrant), and an
+// ordering hazard between instances otherwise.
+//
+// Classes coarsen instances into roles, so a cycle is a proof obligation,
+// not a proof: code that nests two distinct Job.mu instances in a globally
+// consistent instance order is safe but indistinguishable at this
+// granularity — suppress with a reasoned //lint:ignore naming that order.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/callgraph"
+)
+
+// Analyzer reports lock-order deadlock cycles with witness paths.
+var Analyzer = &analysis.Analyzer{
+	Name:       "lockorder",
+	Doc:        "detects cycles in the whole-program lock-acquisition graph (lock classes acquired in inconsistent order across call paths) and reports each with its inter-procedural witness path; a cycle means two goroutines can deadlock",
+	Run:        run,
+	NeedsFacts: true,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Facts == nil {
+		return nil
+	}
+	var cf callgraph.ConcFact
+	if !pass.Facts.ObjectFact(callgraph.GlobalKey, &cf) {
+		return nil
+	}
+	// The graph is global but passes are per package: anchor each cycle at
+	// its first witness position and report it only in the package whose
+	// files contain that position, so the program-wide finding appears
+	// exactly once per run.
+	for _, cyc := range cf.Cycles {
+		if len(cyc.Edges) == 0 || len(cyc.Edges[0].Path) == 0 {
+			continue
+		}
+		anchor := cyc.Edges[0].Path[0].Pos
+		if !inFiles(pass.Files, anchor) {
+			continue
+		}
+		pass.Reportf(anchor, "%s", render(pass.Fset, cyc))
+	}
+	return nil
+}
+
+// inFiles reports whether pos falls inside one of the pass's files.
+func inFiles(files []*ast.File, pos token.Pos) bool {
+	for _, f := range files {
+		if pos >= f.FileStart && pos < f.FileEnd {
+			return true
+		}
+	}
+	return false
+}
+
+// render spells one cycle: the class ring, then each edge's witness path.
+func render(fset *token.FileSet, cyc callgraph.LockCycle) string {
+	var b strings.Builder
+	if len(cyc.Classes) == 1 {
+		fmt.Fprintf(&b, "lock-order cycle: %s is re-acquired while already held", callgraph.ShortClass(cyc.Classes[0]))
+	} else {
+		b.WriteString("lock-order deadlock cycle: ")
+		for _, c := range cyc.Classes {
+			b.WriteString(callgraph.ShortClass(c))
+			b.WriteString(" -> ")
+		}
+		b.WriteString(callgraph.ShortClass(cyc.Classes[0]))
+	}
+	b.WriteString("; witness:")
+	for i, e := range cyc.Edges {
+		fmt.Fprintf(&b, " [%d]", i+1)
+		for j, st := range e.Path {
+			if j > 0 {
+				b.WriteString(",")
+			}
+			p := fset.Position(st.Pos)
+			fmt.Fprintf(&b, " %s (%s:%d) %s", callgraph.ShortClass(st.Func),
+				filepath.Base(p.Filename), p.Line, st.Note)
+		}
+		b.WriteString(";")
+	}
+	b.WriteString(" fix: acquire these locks in one global order everywhere, or release one before taking the other")
+	return b.String()
+}

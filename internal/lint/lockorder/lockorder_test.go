@@ -1,0 +1,17 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/callgraph"
+	"repro/internal/lint/lockorder"
+)
+
+// TestFixture proves the two-package deadlock cycle (S.Mu held over a call
+// chain that acquires T.Mu, T.Mu nested directly over S.Mu) is detected
+// and reported with its inter-procedural witness path, that the same-class
+// self-edge reports, and that sequential acquisition stays silent.
+func TestFixture(t *testing.T) {
+	analysistest.RunWithConfig(t, "testdata/fixture", lockorder.Analyzer, callgraph.Config{})
+}

@@ -1,0 +1,24 @@
+// Package a declares the two lock-bearing structures and the helper that
+// acquires T's lock — the callee side of the inter-procedural edge the
+// fixture's cycle runs through.
+package a
+
+import "sync"
+
+type S struct {
+	Mu sync.Mutex
+	N  int
+}
+
+type T struct {
+	Mu sync.Mutex
+	N  int
+}
+
+// Bump acquires T.Mu. Called with S.Mu held (package b), it is the far end
+// of the S.Mu -> T.Mu edge.
+func Bump(t *T) {
+	t.Mu.Lock()
+	t.N++
+	t.Mu.Unlock()
+}

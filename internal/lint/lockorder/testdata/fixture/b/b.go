@@ -1,0 +1,51 @@
+// Package b closes the deadlock cycle across the package boundary: AB
+// holds S.Mu over a call that reaches an acquisition of T.Mu two hops
+// away, BA nests S.Mu directly under T.Mu. Seq shows that sequential
+// (non-nested) acquisition creates no edge, and Re demonstrates the
+// single-class self-edge report.
+package b
+
+import (
+	"sync"
+
+	"repro/internal/lint/lockorder/testdata/fixture/a"
+)
+
+func AB(s *a.S, t *a.T) {
+	s.Mu.Lock()
+	a.Bump(t) // want `lock-order deadlock cycle: a\.S\.Mu -> a\.T\.Mu -> a\.S\.Mu; witness: \[1\].*calls a\.Bump while holding a\.S\.Mu.*acquires a\.T\.Mu.*\[2\].*acquires a\.S\.Mu while holding a\.T\.Mu`
+	s.Mu.Unlock()
+}
+
+func BA(s *a.S, t *a.T) {
+	t.Mu.Lock()
+	s.Mu.Lock()
+	s.N++
+	s.Mu.Unlock()
+	t.Mu.Unlock()
+}
+
+// Seq acquires both locks strictly sequentially: no nesting, no edge.
+func Seq(s *a.S, t *a.T) {
+	s.Mu.Lock()
+	s.N++
+	s.Mu.Unlock()
+	t.Mu.Lock()
+	t.N++
+	t.Mu.Unlock()
+}
+
+type R struct {
+	Mu sync.Mutex
+	N  int
+}
+
+// Re nests two R.Mu instances: same class, a self-edge — deadlock if both
+// ever alias, an ordering hazard between instances otherwise.
+func Re(r, other *R) {
+	r.Mu.Lock()
+	other.Mu.Lock() // want `lock-order cycle: b\.R\.Mu is re-acquired while already held`
+	other.N++
+	other.Mu.Unlock()
+	r.Mu.Unlock()
+}

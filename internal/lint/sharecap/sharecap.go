@@ -1,0 +1,454 @@
+// Package sharecap flags closure-capture race candidates: variables
+// captured by a closure handed to another goroutine — `go func(){...}()`,
+// par.Run worker bodies, par.Pool.Submit tasks — written inside the
+// closure and accessed outside without synchronization. It is the static
+// complement to the race detector for the schedules tests never run.
+//
+// Two spawn shapes, two rules:
+//
+//   - par.Run runs N instances of the same closure concurrently, so any
+//     captured write is a worker-vs-worker race unless it is indexed by a
+//     closure-local variable (the deposit-list idiom: each worker writes
+//     only its own slice slots, y[i] with i ranging over the worker's
+//     [lo,hi) chunk) or bracketed by a mutex. par.Run itself joins before
+//     returning, so reads after the call are safe and out of scope.
+//
+//   - `go` and Pool.Submit escape the enclosing function's lifetime, so a
+//     captured write races with any enclosing access after the spawn
+//     unless an await (channel receive, select, WaitGroup.Wait, pool
+//     drain) intervenes or both sides hold a common lock class.
+//
+// The lock reasoning is bracket-coarse (a class counts as held between any
+// Lock before and any Unlock after the access) and classes coarsen
+// instances, so findings are candidates, not proofs — the analyzer's job
+// is to make each one either fixed or argued for in a //lint:ignore
+// reason.
+package sharecap
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/callgraph"
+)
+
+// Analyzer flags captured-variable writes racing across goroutines.
+var Analyzer = &analysis.Analyzer{
+	Name: "sharecap",
+	Doc:  "flags variables captured by go/par.Run/Pool.Submit closures that are written inside the closure and accessed outside (or by every worker) without a worker-local index, an await, or a common lock; racy on schedules the tests never run",
+	Run:  run,
+}
+
+const (
+	parRun     = "repro/internal/par.Run"
+	poolSubmit = "(*repro/internal/par.Pool).Submit"
+)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if decl, ok := d.(*ast.FuncDecl); ok && decl.Body != nil {
+				checkDecl(pass, decl)
+			}
+		}
+	}
+	return nil
+}
+
+type spawnKind int
+
+const (
+	multiInstance spawnKind = iota // par.Run: N concurrent instances, joined at return
+	escaping                       // go / Pool.Submit: outlives the spawn point
+)
+
+type spawn struct {
+	kind spawnKind
+	pos  token.Pos // the go statement / call position
+	lit  *ast.FuncLit
+}
+
+// write is one captured-variable store inside a spawn closure.
+type write struct {
+	obj        types.Object
+	pos        token.Pos
+	name       string
+	indexLocal bool // element write indexed only by closure-local variables
+	guards     []string
+}
+
+func checkDecl(pass *analysis.Pass, decl *ast.FuncDecl) {
+	info := pass.TypesInfo
+	scope := callgraph.FuncKey(info, decl)
+	if scope == "" {
+		return
+	}
+	var spawns []spawn
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				spawns = append(spawns, spawn{kind: escaping, pos: n.Go, lit: lit})
+			}
+		case *ast.CallExpr:
+			switch callgraph.CalleeKey(info, n) {
+			case parRun:
+				if len(n.Args) > 0 {
+					if lit, ok := n.Args[len(n.Args)-1].(*ast.FuncLit); ok {
+						spawns = append(spawns, spawn{kind: multiInstance, pos: n.Pos(), lit: lit})
+					}
+				}
+			case poolSubmit:
+				if len(n.Args) == 1 {
+					if lit, ok := n.Args[0].(*ast.FuncLit); ok {
+						spawns = append(spawns, spawn{kind: escaping, pos: n.Pos(), lit: lit})
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(spawns) == 0 {
+		return
+	}
+	lits := make([]*ast.FuncLit, len(spawns))
+	for i, s := range spawns {
+		lits[i] = s.lit
+	}
+	outsideSpans := collectSpans(info, decl.Body, scope, lits, decl.End())
+	awaits := collectAwaits(info, decl.Body, lits)
+
+	for _, s := range spawns {
+		litSpans := collectSpans(info, s.lit.Body, scope, nil, s.lit.End())
+		writes := collectWrites(info, decl, s.lit, litSpans)
+		switch s.kind {
+		case multiInstance:
+			for _, w := range writes {
+				if w.indexLocal || len(w.guards) > 0 {
+					continue
+				}
+				pass.Reportf(w.pos, "%s is captured and written by every par.Run worker without a worker-local index or a lock; use the deposit-list idiom (each worker writes only its own slots) or a mutex", w.name)
+			}
+		case escaping:
+			reported := map[types.Object]bool{}
+			for _, w := range writes {
+				if reported[w.obj] {
+					continue
+				}
+				acc := firstOutsideAccess(info, decl, lits, w.obj, s.pos)
+				if acc == token.NoPos {
+					continue
+				}
+				if awaitBetween(awaits, s.pos, acc) {
+					continue
+				}
+				if commonGuard(w.guards, outsideSpans.guards(acc)) {
+					continue
+				}
+				reported[w.obj] = true
+				pass.Reportf(acc, "%s is accessed here while the goroutine spawned at line %d may still be writing it (no await or common lock in between); join the goroutine or guard both sides with one mutex", w.name, pass.Fset.Position(s.pos).Line)
+			}
+		}
+	}
+}
+
+// collectWrites gathers captured-variable stores inside lit: assignment,
+// op-assignment, ++/--, and range-assignment targets whose base variable
+// is declared in the enclosing function before the closure.
+func collectWrites(info *types.Info, decl *ast.FuncDecl, lit *ast.FuncLit, litSpans *spans) []write {
+	var out []write
+	mutated := mutatedObjs(info, lit)
+	record := func(e ast.Expr) {
+		e = ast.Unparen(e)
+		indexLocal := false
+		if ix, ok := e.(*ast.IndexExpr); ok {
+			indexLocal = workerLocalIndex(info, ix.Index, lit, mutated)
+		}
+		id := baseIdent(e)
+		if id == nil {
+			return
+		}
+		obj := info.ObjectOf(id)
+		if !capturedVar(obj, decl, lit) {
+			return
+		}
+		out = append(out, write{
+			obj: obj, pos: id.Pos(), name: id.Name,
+			indexLocal: indexLocal,
+			guards:     litSpans.guards(id.Pos()),
+		})
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, l := range n.Lhs {
+				record(l)
+			}
+		case *ast.IncDecStmt:
+			record(n.X)
+		case *ast.RangeStmt:
+			if n.Tok == token.ASSIGN {
+				record(n.Key)
+				record(n.Value)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// capturedVar reports whether obj is a non-field variable of the enclosing
+// function declared before the closure — i.e. captured, not closure-local.
+func capturedVar(obj types.Object, decl *ast.FuncDecl, lit *ast.FuncLit) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() || v.Name() == "_" {
+		return false
+	}
+	return v.Pos() >= decl.Pos() && v.Pos() < lit.Pos()
+}
+
+// workerLocalIndex reports whether the index expression varies per worker:
+// at least one referenced variable is declared inside lit (worker id, chunk
+// counter) and every captured variable in it is read-only within the
+// closure (a stride like `y*w+x` qualifies; a captured slot `xs[k]` with no
+// worker-varying component does not).
+func workerLocalIndex(info *types.Info, e ast.Expr, lit *ast.FuncLit, mutated map[types.Object]bool) bool {
+	if e == nil {
+		return false
+	}
+	anyLocal, ok := false, true
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent {
+			return true
+		}
+		if v, isVar := info.ObjectOf(id).(*types.Var); isVar && !v.IsField() {
+			if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+				anyLocal = true
+			} else if mutated[v] {
+				ok = false
+			}
+		}
+		return true
+	})
+	return anyLocal && ok
+}
+
+// mutatedObjs gathers the base variables stored to anywhere inside lit.
+func mutatedObjs(info *types.Info, lit *ast.FuncLit) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	mark := func(e ast.Expr) {
+		if id := baseIdent(e); id != nil {
+			if obj := info.ObjectOf(id); obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, l := range n.Lhs {
+				mark(l)
+			}
+		case *ast.IncDecStmt:
+			mark(n.X)
+		case *ast.RangeStmt:
+			if n.Tok == token.ASSIGN {
+				mark(n.Key)
+				mark(n.Value)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// baseIdent peels index, selector, star and paren layers down to the root
+// identifier of an assignable expression.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// firstOutsideAccess finds the first reference to obj after pos that is
+// outside every spawn closure, or NoPos.
+func firstOutsideAccess(info *types.Info, decl *ast.FuncDecl, lits []*ast.FuncLit, obj types.Object, pos token.Pos) token.Pos {
+	first := token.NoPos
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		for _, lit := range lits {
+			if n != nil && n.Pos() >= lit.Pos() && n.End() <= lit.End() {
+				return false
+			}
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Pos() <= pos {
+			return true
+		}
+		if info.ObjectOf(id) == obj && (first == token.NoPos || id.Pos() < first) {
+			first = id.Pos()
+		}
+		return true
+	})
+	return first
+}
+
+// awaitBetween reports whether any await point falls strictly between the
+// spawn and the access.
+func awaitBetween(awaits []token.Pos, spawn, access token.Pos) bool {
+	for _, a := range awaits {
+		if a > spawn && a < access {
+			return true
+		}
+	}
+	return false
+}
+
+// collectAwaits gathers the happens-before points of the enclosing body,
+// outside the spawn closures: channel receives (unary, range, select) and
+// WaitGroup.Wait / pool-drain calls.
+func collectAwaits(info *types.Info, body *ast.BlockStmt, lits []*ast.FuncLit) []token.Pos {
+	var out []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		for _, lit := range lits {
+			if n != nil && n.Pos() >= lit.Pos() && n.End() <= lit.End() {
+				return false
+			}
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				out = append(out, n.OpPos)
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					out = append(out, n.For)
+				}
+			}
+		case *ast.SelectStmt:
+			out = append(out, n.Select)
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if fn, ok := info.Uses[sel.Sel].(*types.Func); ok {
+					switch fn.FullName() {
+					case "(*sync.WaitGroup).Wait",
+						"(*repro/internal/par.Pool).Close",
+						"(*repro/internal/par.Pool).CloseContext":
+						out = append(out, n.Pos())
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// spans is the bracket-coarse lock model of one region: a class guards a
+// position when some Lock of it comes before and some Unlock (deferred
+// unlocks count as end-of-region) comes after.
+type spans struct {
+	locks   map[string][]token.Pos
+	unlocks map[string][]token.Pos
+}
+
+func (sp *spans) guards(pos token.Pos) []string {
+	var out []string
+	classes := make([]string, 0, len(sp.locks))
+	for class := range sp.locks {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		ls := sp.locks[class]
+		before := false
+		for _, l := range ls {
+			if l < pos {
+				before = true
+				break
+			}
+		}
+		if !before {
+			continue
+		}
+		for _, u := range sp.unlocks[class] {
+			if u > pos {
+				out = append(out, class)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func commonGuard(a, b []string) bool {
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectSpans records every mutex Lock/Unlock of the region, skipping the
+// excluded closures; end anchors deferred unlocks.
+func collectSpans(info *types.Info, root ast.Node, scope string, exclude []*ast.FuncLit, end token.Pos) *spans {
+	sp := &spans{locks: map[string][]token.Pos{}, unlocks: map[string][]token.Pos{}}
+	deferred := map[*ast.CallExpr]bool{}
+	ast.Inspect(root, func(n ast.Node) bool {
+		for _, lit := range exclude {
+			if n != nil && n.Pos() >= lit.Pos() && n.End() <= lit.End() {
+				return false
+			}
+		}
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			deferred[n.Call] = true
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			class := callgraph.SyncClass(info, sel.X, scope)
+			switch fn.FullName() {
+			case "(*sync.Mutex).Lock", "(*sync.RWMutex).Lock", "(*sync.RWMutex).RLock":
+				sp.locks[class] = append(sp.locks[class], n.Pos())
+			case "(*sync.Mutex).Unlock", "(*sync.RWMutex).Unlock", "(*sync.RWMutex).RUnlock":
+				pos := n.Pos()
+				if deferred[n] {
+					pos = end
+				}
+				sp.unlocks[class] = append(sp.unlocks[class], pos)
+			}
+		}
+		return true
+	})
+	return sp
+}

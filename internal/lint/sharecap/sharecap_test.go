@@ -1,0 +1,16 @@
+package sharecap_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/sharecap"
+)
+
+// TestFixture covers both spawn shapes: par.Run worker closures (flagged
+// scalar accumulation and captured-index writes, quiet deposit-list and
+// mutex shapes) and escaping go/Submit closures (flagged read-after-spawn,
+// quiet join/drain/common-lock shapes).
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, "testdata/fixture", sharecap.Analyzer)
+}

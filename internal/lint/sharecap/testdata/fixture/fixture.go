@@ -1,0 +1,117 @@
+// The sharecap fixture: captured-write races across par.Run workers and
+// escaping goroutines, next to the sanctioned shapes — deposit-list
+// indexing, mutex bracketing, and join-before-read.
+package fixture
+
+import (
+	"sync"
+
+	"repro/internal/par"
+)
+
+// sumRace accumulates into a captured scalar from every worker: the
+// classic lost-update race.
+func sumRace(xs []float64) float64 {
+	total := 0.0
+	par.Run(4, len(xs), func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			total += xs[i] // want `total is captured and written by every par\.Run worker`
+		}
+	})
+	return total
+}
+
+// depositOK writes only worker-local slots: the deposit-list idiom.
+func depositOK(xs, out []float64) {
+	par.Run(4, len(xs), func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = xs[i] * 2
+		}
+	})
+}
+
+// strideOK writes through stride arithmetic: the captured stride w is
+// read-only inside the closure and the column index x varies per worker,
+// so the written slots are disjoint (the transposed deposit-list idiom).
+func strideOK(data []float64, w, h int) {
+	par.Run(4, w, func(_, lo, hi int) {
+		for x := lo; x < hi; x++ {
+			for y := 0; y < h; y++ {
+				data[y*w+x] = float64(x)
+			}
+		}
+	})
+}
+
+// sharedIndexRace indexes by a captured variable, so every worker writes
+// the same slot.
+func sharedIndexRace(xs []float64, k int) {
+	par.Run(4, len(xs), func(w, lo, hi int) {
+		xs[k] = float64(hi) // want `xs is captured and written by every par\.Run worker`
+	})
+}
+
+// lockOK brackets the captured write with a mutex.
+func lockOK(xs []float64) float64 {
+	var mu sync.Mutex
+	total := 0.0
+	par.Run(4, len(xs), func(w, lo, hi int) {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += xs[i]
+		}
+		mu.Lock()
+		total += s
+		mu.Unlock()
+	})
+	return total
+}
+
+// goEscape reads a variable the spawned goroutine may still be writing.
+func goEscape() int {
+	x := 0
+	go func() { x = 1 }()
+	return x // want `x is accessed here while the goroutine spawned at line \d+ may still be writing it`
+}
+
+// goJoined receives on the done channel before reading: happens-before.
+func goJoined() int {
+	x := 0
+	done := make(chan struct{})
+	go func() {
+		x = 1
+		close(done)
+	}()
+	<-done
+	return x
+}
+
+// goLocked guards both sides with the same mutex class.
+func goLocked() int {
+	var mu sync.Mutex
+	x := 0
+	go func() {
+		mu.Lock()
+		x = 1
+		mu.Unlock()
+	}()
+	mu.Lock()
+	v := x
+	mu.Unlock()
+	return v
+}
+
+// submitEscape reads a counter a submitted task may still be writing.
+func submitEscape(p *par.Pool) int {
+	n := 0
+	_ = p.Submit(func() { n++ })
+	return n // want `n is accessed here while the goroutine spawned at line \d+ may still be writing it`
+}
+
+// submitDrained drains the pool before the read.
+func submitDrained(p *par.Pool) int {
+	n := 0
+	_ = p.Submit(func() { n++ })
+	p.Close()
+	return n
+}

@@ -1,0 +1,29 @@
+// Package stalev3 is the stale-suppression fixture for the v3 concurrency
+// analyzers: a golife directive that earns its keep next to lockorder and
+// sharecap directives that suppress nothing and must be reported.
+package stalev3
+
+func work() {}
+
+// fire really leaks a goroutine; the directive below suppresses the
+// golife finding and is live.
+func fire() {
+	//lint:ignore golife deliberate fire-and-forget in this fixture
+	go func() { work() }()
+}
+
+// calm takes no locks at all, so the lockorder directive is stale.
+func calm(a, b int) int {
+	//lint:ignore lockorder nothing here acquires any lock
+	return a + b
+}
+
+// solo spawns nothing, so the sharecap directive is stale.
+func solo(xs []int) int {
+	total := 0
+	//lint:ignore sharecap no closure captures anything here
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

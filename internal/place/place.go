@@ -38,7 +38,9 @@ type Config struct {
 	// GridBins is the density grid resolution per axis (power of two
 	// recommended). 0 picks automatically from the design size.
 	GridBins int
-	// FieldMethod selects how eq. (9) is evaluated.
+	// FieldMethod selects how eq. (9) is evaluated. The default Auto
+	// picks the real-input FFT pipeline on power-of-two grids of at
+	// least 2048 bins and the direct sum below.
 	FieldMethod density.Method
 	// NoLinearize disables the [14] net-weight linearization, making the
 	// solve purely quadratic.

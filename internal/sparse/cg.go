@@ -12,17 +12,17 @@ import (
 type Preconditioner int
 
 const (
-	// Jacobi (diagonal) preconditioning: cheapest per iteration, the
-	// default.
-	Jacobi Preconditioner = iota
+	// Auto picks per solve: IC0 for systems of at least AutoIC0Threshold
+	// unknowns (where the iteration-count savings dominate the triangular
+	// solves), Jacobi below it. The zero value, so a zero CGOptions gets
+	// the size-adaptive choice.
+	Auto Preconditioner = iota
+	// Jacobi (diagonal) preconditioning: cheapest per iteration.
+	Jacobi
 	// IC0 zero-fill incomplete Cholesky (the classic ICCG of GORDIAN-era
 	// placers): fewer iterations, a sequential triangular solve each.
 	// Falls back to Jacobi when the factorization breaks down.
 	IC0
-	// Auto picks per solve: IC0 for systems of at least AutoIC0Threshold
-	// unknowns (where the iteration-count savings dominate the triangular
-	// solves), Jacobi below it.
-	Auto
 )
 
 // AutoIC0Threshold is the system size at which Auto switches from Jacobi
@@ -33,27 +33,28 @@ const AutoIC0Threshold = 5000
 // String returns the preconditioner's tag ("jacobi", "ic0", or "auto").
 func (p Preconditioner) String() string {
 	switch p {
+	case Jacobi:
+		return "jacobi"
 	case IC0:
 		return "ic0"
-	case Auto:
-		return "auto"
 	default:
-		return "jacobi"
+		return "auto"
 	}
 }
 
 // ParsePreconditioner maps a tag (as printed by String) back to the
-// preconditioner; ok is false for anything unrecognized.
+// preconditioner; the empty tag means "unset" and maps to the Auto
+// default. ok is false for anything unrecognized.
 func ParsePreconditioner(s string) (p Preconditioner, ok bool) {
 	switch s {
-	case "jacobi", "":
+	case "auto", "":
+		return Auto, true
+	case "jacobi":
 		return Jacobi, true
 	case "ic0":
 		return IC0, true
-	case "auto":
-		return Auto, true
 	}
-	return Jacobi, false
+	return Auto, false
 }
 
 // Resolve maps Auto to the concrete preconditioner for an n-unknown
@@ -80,7 +81,9 @@ type cgMetrics struct {
 	seconds      *obsv.Histogram
 }
 
-var metrics [2]cgMetrics // indexed by effective Preconditioner
+// metrics is indexed by the effective Preconditioner (always Jacobi or
+// IC0 after Resolve and fallback); the Auto slot stays unused.
+var metrics [3]cgMetrics
 
 // EnableMetrics registers the solver's counters and histograms in r and
 // routes all subsequent solves to them:
@@ -116,7 +119,8 @@ type CGOptions struct {
 	Tol float64
 	// MaxIter caps the iteration count. Defaults to 10·N.
 	MaxIter int
-	// Precond selects the preconditioner (default Jacobi).
+	// Precond selects the preconditioner. The default is Auto: IC0 for
+	// systems of at least AutoIC0Threshold unknowns, Jacobi below.
 	Precond Preconditioner
 	// Factor, when non-nil and Precond resolves to IC0, is a
 	// pre-refactored IC0 factor to apply instead of factoring inside the

@@ -210,8 +210,8 @@ func TestPrecondResolveAndParse(t *testing.T) {
 		want Preconditioner
 		ok   bool
 	}{
-		{"jacobi", Jacobi, true}, {"", Jacobi, true},
-		{"ic0", IC0, true}, {"auto", Auto, true}, {"cholesky", Jacobi, false},
+		{"jacobi", Jacobi, true}, {"", Auto, true},
+		{"ic0", IC0, true}, {"auto", Auto, true}, {"cholesky", Auto, false},
 	} {
 		p, ok := ParsePreconditioner(tc.in)
 		if p != tc.want || ok != tc.ok {
