@@ -45,6 +45,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/obsv"
 	"repro/internal/place"
+	"repro/internal/qp"
 	"repro/internal/sparse"
 	"repro/internal/timing"
 	"repro/internal/visual"
@@ -69,9 +70,19 @@ func main() {
 		cold    = flag.Bool("cold", false, "disable the hot-path engine (iteration-reuse caches and CG warm start); the A/B baseline for -metrics comparisons")
 		precond = flag.String("precond", "auto", "CG preconditioner: jacobi, ic0, or auto (ic0 above a size threshold)")
 		field   = flag.String("field", "auto", "density field solver: auto, direct, fft, or rfft (real-input FFT)")
-		timeout = flag.Duration("timeout", 0, "wall-time budget for the kraftwerk run (0 = none); on expiry the best placement so far is kept")
-		ckpt    = flag.String("checkpoint", "", "write the iteration state here if the kraftwerk run is interrupted (-timeout or Ctrl-C)")
-		resume  = flag.String("resume", "", "resume a kraftwerk run from a -checkpoint snapshot instead of starting fresh")
+
+		gridBins  = flag.Int("gridbins", 0, "density grid resolution per axis (0 = automatic from design size)")
+		noLin     = flag.Bool("nolinearize", false, "disable the net-weight linearization (purely quadratic solve)")
+		netModel  = flag.String("netmodel", "clique", "net decomposition: clique (paper model), star, or hybrid")
+		keep      = flag.Bool("keep", false, "start from the input netlist's positions instead of gathering at the region center")
+		stopSq    = flag.Float64("stopsq", 0, "stopping-criterion multiple of average cell area (0 = default 4)")
+		emptyFrac = flag.Float64("emptyfrac", 0, "empty-bin demand fraction threshold (0 = default 0.25)")
+		floor     = flag.Float64("forcefloor", 0, "zero force increments below this fraction of the field maximum (0 = off)")
+		cgTol     = flag.Float64("cgtol", 0, "CG relative residual tolerance (0 = default 1e-6)")
+		cgMaxIter = flag.Int("cgmaxiter", 0, "CG iteration cap per solve (0 = default)")
+		timeout   = flag.Duration("timeout", 0, "wall-time budget for the kraftwerk run (0 = none); on expiry the best placement so far is kept")
+		ckpt      = flag.String("checkpoint", "", "write the iteration state here if the kraftwerk run is interrupted (-timeout or Ctrl-C)")
+		resume    = flag.String("resume", "", "resume a kraftwerk run from a -checkpoint snapshot instead of starting fresh")
 
 		tracePath = flag.String("trace", "", "write a JSONL run trace (one record per transformation)")
 		metrics   = flag.Bool("metrics", false, "dump the metrics registry as Prometheus text on exit")
@@ -128,6 +139,10 @@ func main() {
 	if !ok {
 		log.Fatalf("unknown -field %q (want auto, direct, fft, or rfft)", *field)
 	}
+	nm, ok := qp.ParseNetModel(*netModel)
+	if !ok {
+		log.Fatalf("unknown -netmodel %q (want clique, star, or hybrid)", *netModel)
+	}
 
 	nl, err := load(*in, *aux, *gen, *seed)
 	if err != nil {
@@ -141,8 +156,15 @@ func main() {
 	case "kraftwerk":
 		cfg := place.Config{
 			K: *k, MaxIter: *maxIter,
-			NoReuse: *cold, NoWarmStart: *cold,
-			CG:          sparse.CGOptions{Precond: pc},
+			GridBins:         *gridBins,
+			NoLinearize:      *noLin,
+			NetModel:         nm,
+			KeepPlacement:    *keep,
+			StopSquareFactor: *stopSq,
+			EmptyFrac:        *emptyFrac,
+			ForceFloor:       *floor,
+			NoReuse:          *cold, NoWarmStart: *cold,
+			CG:          sparse.CGOptions{Tol: *cgTol, MaxIter: *cgMaxIter, Precond: pc},
 			FieldMethod: fm,
 			Spans:       spans, Metrics: reg,
 		}

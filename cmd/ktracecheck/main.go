@@ -9,7 +9,9 @@
 // a finite positive HPWL, a positive step time, and a monotonically
 // increasing iteration number — resets to 0 mark a new run within the
 // file (timing-driven placement restarts), and a new meta record starts a
-// fresh group outright.
+// fresh group outright. Phase timing keys (t_<phase>_ns) must come from
+// the known phase schema, and when the meta record declares its phase
+// list, every declared phase must appear on every iteration record.
 //
 // A flight dump must decode into the {capacity, dropped, entries} schema;
 // with -reason, at least one entry must carry that reason and a span
@@ -25,6 +27,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sort"
+	"strings"
 )
 
 func main() {
@@ -63,10 +67,33 @@ type traceRec struct {
 	Type       string   `json:"type"`
 	ConfigHash string   `json:"config_hash"`
 	Cells      int      `json:"cells"`
+	Phases     []string `json:"phases"`
 	Iter       *int     `json:"iter"`
 	HPWL       *float64 `json:"hpwl"`
 	StepNS     *int64   `json:"t_step_ns"`
 	PairNS     *int64   `json:"t_solve_pair_ns"`
+}
+
+// knownPhaseKeys is the trace-key allowlist: the t_<phase>_ns keys an
+// iteration record may carry, one per place.PhaseKeys entry (with -
+// spelled _). kvet's phasereg analyzer checks this map against the
+// IterStats schema, so a phase added there without a line here is a lint
+// failure, not silent drift.
+var knownPhaseKeys = map[string]bool{
+	"t_weight_ns":     true,
+	"t_gather_ns":     true,
+	"t_field_ns":      true,
+	"t_build_ns":      true,
+	"t_solve_x_ns":    true,
+	"t_solve_y_ns":    true,
+	"t_solve_pair_ns": true,
+	"t_step_ns":       true,
+}
+
+// phaseKey maps a meta-record phase name ("solve-x") to its trace key
+// ("t_solve_x_ns").
+func phaseKey(phase string) string {
+	return "t_" + strings.ReplaceAll(phase, "-", "_") + "_ns"
 }
 
 func checkTrace(path string) error {
@@ -83,6 +110,7 @@ func checkTrace(path string) error {
 	iters := 0
 	metas := 0
 	lastIter := -1
+	var metaPhases []string // current group's declared phases (nil: legacy meta)
 	for sc.Scan() {
 		raw := sc.Bytes()
 		if len(raw) == 0 {
@@ -101,6 +129,12 @@ func checkTrace(path string) error {
 			if r.Cells <= 0 {
 				return fmt.Errorf("line %d: meta record with cells=%d", line, r.Cells)
 			}
+			for _, p := range r.Phases {
+				if !knownPhaseKeys[phaseKey(p)] {
+					return fmt.Errorf("line %d: meta declares unknown phase %q", line, p)
+				}
+			}
+			metaPhases = r.Phases
 			lastIter = -1
 			continue
 		}
@@ -111,6 +145,27 @@ func checkTrace(path string) error {
 			return fmt.Errorf("line %d: record is neither meta nor iteration (no iter field)", line)
 		}
 		iters++
+		// The phase-key schema check needs the raw key set, which the
+		// typed decode above discards.
+		var keys map[string]json.RawMessage
+		if err := json.Unmarshal(raw, &keys); err != nil {
+			return fmt.Errorf("line %d: not a JSON object: %v", line, err)
+		}
+		var unknown []string
+		for k := range keys {
+			if strings.HasPrefix(k, "t_") && strings.HasSuffix(k, "_ns") && !knownPhaseKeys[k] {
+				unknown = append(unknown, k)
+			}
+		}
+		if len(unknown) > 0 {
+			sort.Strings(unknown) // deterministic pick across map orders
+			return fmt.Errorf("line %d: unknown phase key %q", line, unknown[0])
+		}
+		for _, p := range metaPhases {
+			if _, present := keys[phaseKey(p)]; !present {
+				return fmt.Errorf("line %d: missing phase %q declared in meta", line, p)
+			}
+		}
 		switch {
 		case *r.Iter > lastIter:
 			lastIter = *r.Iter

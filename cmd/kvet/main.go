@@ -10,7 +10,11 @@
 // whole-program concurrency-soundness trio: a global lock-acquisition
 // order free of deadlock cycles (lockorder), joined goroutines and
 // received-from channels (golife), and no unsynchronized closure-capture
-// races (sharecap).
+// races (sharecap). v4 adds the contract suite: every Config knob plumbed
+// to its CLI/HTTP/hash/engine surfaces (knobflow), every phase surface
+// mirroring the canonical t_<phase>_ns list and metric names obeying the
+// Prometheus rules (phasereg), and exhaustive switches over module-local
+// enum types (enumswitch).
 //
 // Usage:
 //
@@ -24,7 +28,8 @@
 // Flags:
 //
 //	-tags tags        build tags, forwarded to go list
-//	-list             print analyzers, their package policy and doc, then exit
+//	-list             print analyzers with their one-line docs, then exit
+//	-debug-timing     print per-analyzer wall time to stderr after the run
 //	-fix              apply suggested fixes in place
 //	-diff             preview suggested fixes as a diff without writing
 //	-json             print findings as a JSON array
@@ -43,7 +48,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
-	"strings"
+	"time"
 
 	"repro/internal/lint"
 	"repro/internal/lint/load"
@@ -51,7 +56,8 @@ import (
 
 func main() {
 	tags := flag.String("tags", "", "build tags to select files, forwarded to go list")
-	list := flag.Bool("list", false, "print the analyzers and their package policy, then exit")
+	list := flag.Bool("list", false, "print the analyzers and their one-line docs, then exit")
+	debugTiming := flag.Bool("debug-timing", false, "print per-analyzer wall time to stderr after the run")
 	fix := flag.Bool("fix", false, "apply suggested fixes to the source files")
 	diff := flag.Bool("diff", false, "print suggested fixes as a diff without applying them")
 	jsonOut := flag.Bool("json", false, "print findings as JSON")
@@ -63,7 +69,9 @@ func main() {
 
 	rules := lint.Rules()
 	if *list {
-		printList(rules)
+		if err := lint.WriteList(os.Stdout, rules); err != nil {
+			fatal(err)
+		}
 		return
 	}
 
@@ -81,6 +89,11 @@ func main() {
 		fatal(err)
 	}
 	findings := res.Findings
+	if *debugTiming {
+		for _, tm := range res.Timings {
+			fmt.Fprintf(os.Stderr, "kvet: timing %-12s %s\n", tm.Analyzer, tm.Wall.Round(time.Microsecond))
+		}
+	}
 
 	if *writeBaseline != "" {
 		if err := lint.WriteBaseline(*writeBaseline, root, findings); err != nil {
@@ -169,23 +182,6 @@ func main() {
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "kvet: %d finding(s)\n", len(findings))
 		os.Exit(1)
-	}
-}
-
-// printList documents each analyzer with its one-line doc and package
-// policy, sorted by name so the listing is stable as rules are added.
-func printList(rules []lint.Rule) {
-	rules = append([]lint.Rule(nil), rules...)
-	sort.Slice(rules, func(i, j int) bool { return rules[i].Analyzer.Name < rules[j].Analyzer.Name })
-	for _, r := range rules {
-		policy := "all packages"
-		switch {
-		case len(r.Only) > 0:
-			policy = "only " + strings.Join(r.Only, ", ")
-		case len(r.Exempt) > 0:
-			policy = "exempt " + strings.Join(r.Exempt, ", ")
-		}
-		fmt.Printf("%-10s  %s\n            policy: %s\n", r.Analyzer.Name, r.Analyzer.Doc, policy)
 	}
 }
 

@@ -175,7 +175,7 @@ func runStep(o *Options, base *netlist.Netlist, maxIter int, cold bool, precond,
 	return StepRun{
 		Iterations: res.Iterations,
 		CGIters:    cgIters,
-		StopReason: res.StopReason,
+		StopReason: string(res.StopReason),
 		HPWL:       res.HPWL,
 		Overflow:   res.Overflow,
 		WallSec:    time.Since(start).Seconds(),

@@ -37,6 +37,7 @@ import (
 	"repro/internal/lint/analysis"
 	"repro/internal/lint/callgraph"
 	"repro/internal/lint/load"
+	"repro/internal/lint/registry"
 )
 
 // wantRE extracts the backquoted patterns of one want comment.
@@ -56,7 +57,7 @@ type expectation struct {
 // mismatch between diagnostics and want comments as test errors.
 func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 	t.Helper()
-	check(t, dir, a, nil, ".")
+	check(t, dir, a, nil, nil, ".")
 }
 
 // RunWithConfig is Run with the interprocedural fact phase enabled: every
@@ -64,12 +65,21 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 // the reachability roots, usually functions inside the fixture itself.
 func RunWithConfig(t *testing.T, dir string, a *analysis.Analyzer, cfg callgraph.Config) {
 	t.Helper()
-	check(t, dir, a, &cfg, "./...")
+	check(t, dir, a, &cfg, nil, "./...")
 }
 
-func check(t *testing.T, dir string, a *analysis.Analyzer, cfg *callgraph.Config, pattern string) {
+// RunWithRegistry is Run with the contract-registry phase enabled: every
+// package under dir loads and reg names the fixture's own contract
+// anchors (its Config struct, flags package, phase surfaces), so fixtures
+// exercise the same extraction the real tree gets.
+func RunWithRegistry(t *testing.T, dir string, a *analysis.Analyzer, reg registry.Config) {
 	t.Helper()
-	pkgs, res := run(t, dir, a, cfg, pattern)
+	check(t, dir, a, nil, &reg, "./...")
+}
+
+func check(t *testing.T, dir string, a *analysis.Analyzer, cfg *callgraph.Config, reg *registry.Config, pattern string) {
+	t.Helper()
+	pkgs, res := run(t, dir, a, cfg, reg, pattern)
 	var wants []*expectation
 	for _, pkg := range pkgs {
 		wants = append(wants, collectWants(t, pkg)...)
@@ -87,13 +97,17 @@ func check(t *testing.T, dir string, a *analysis.Analyzer, cfg *callgraph.Config
 }
 
 // run loads the fixture and applies the analyzer as a one-rule suite.
-func run(t *testing.T, dir string, a *analysis.Analyzer, cfg *callgraph.Config, pattern string) ([]*load.Package, *lint.Result) {
+func run(t *testing.T, dir string, a *analysis.Analyzer, cfg *callgraph.Config, reg *registry.Config, pattern string) ([]*load.Package, *lint.Result) {
 	t.Helper()
 	pkgs, err := load.Load(load.Config{Dir: dir}, pattern)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", dir, err)
 	}
-	opts := lint.Options{Graph: cfg, NoFacts: cfg == nil && !a.NeedsFacts}
+	opts := lint.Options{
+		Graph:    cfg,
+		Registry: reg,
+		NoFacts:  cfg == nil && reg == nil && !a.NeedsFacts && !a.NeedsRegistry,
+	}
 	res, err := lint.RunSuite(pkgs, []lint.Rule{{Analyzer: a}}, opts)
 	if err != nil {
 		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
@@ -108,7 +122,7 @@ func run(t *testing.T, dir string, a *analysis.Analyzer, cfg *callgraph.Config, 
 // the fixed code suggests nothing — the fix is idempotent.
 func RunFix(t *testing.T, dir string, a *analysis.Analyzer, cfg *callgraph.Config) {
 	t.Helper()
-	pkgs, res := run(t, dir, a, cfg, ".")
+	pkgs, res := run(t, dir, a, cfg, nil, ".")
 	if len(pkgs) != 1 {
 		t.Fatalf("RunFix wants a single-package fixture, got %d packages", len(pkgs))
 	}

@@ -1,0 +1,15 @@
+package enumswitch_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/enumswitch"
+)
+
+// TestFixture proves the missing-case switch is flagged while full
+// coverage, value-aliased coverage, explicit defaults, tagless switches,
+// dynamic cases and sub-two-constant types all stay silent.
+func TestFixture(t *testing.T) {
+	analysistest.Run(t, "testdata/fixture", enumswitch.Analyzer)
+}

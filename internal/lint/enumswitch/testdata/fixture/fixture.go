@@ -1,0 +1,89 @@
+// Package fixture exercises enumswitch: one genuinely non-exhaustive
+// switch, and every shape that must stay silent — full coverage, explicit
+// default, value-aliased constants, tagless switches, dynamic cases, and
+// types with fewer than two constants.
+package fixture
+
+// Color is the enum under test.
+type Color int
+
+const (
+	Red Color = iota
+	Green
+	Blue
+)
+
+// Crimson aliases Red's value: covering one covers the other.
+const Crimson = Red
+
+// partial misses Blue and must be flagged.
+func partial(c Color) string {
+	switch c { // want `switch on Color is not exhaustive: missing Blue; add the cases or an explicit default`
+	case Red:
+		return "r"
+	case Green:
+		return "g"
+	}
+	return ""
+}
+
+// full covers every value.
+func full(c Color) string {
+	switch c {
+	case Red:
+		return "r"
+	case Green, Blue:
+		return "gb"
+	}
+	return ""
+}
+
+// aliased covers Red through Crimson: coverage is by value, not name.
+func aliased(c Color) string {
+	switch c {
+	case Crimson, Green, Blue:
+		return "x"
+	}
+	return ""
+}
+
+// defaulted handles the future explicitly.
+func defaulted(c Color) int {
+	switch c {
+	case Red:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// tagless switches are dispatch on conditions, not enum coverage.
+func tagless(c Color) int {
+	switch {
+	case c == Red:
+		return 1
+	}
+	return 0
+}
+
+// dynamic cases make coverage undecidable; the analyzer stays quiet.
+func dynamic(c, other Color) int {
+	switch c {
+	case other:
+		return 1
+	}
+	return 0
+}
+
+// Plain has a single constant: not an enum, any switch is fine.
+type Plain int
+
+const POne Plain = 1
+
+func plain(p Plain) int {
+	switch p {
+	case POne:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,146 @@
+// Package knobflow checks the knob-plumbing contract: every algorithmic
+// field of the placement Config must reach each of its user surfaces — a
+// command-line flag in the flags binary, a JSON field in the HTTP request
+// struct, the config hash — and must actually be read by the engine.
+// Enum-typed knobs additionally need a total parse/print round-trip
+// (Parse(c.String()) == c for every constant, Parse("") accepting the
+// zero value) and a complete facade re-export (type alias, constants,
+// parser). Request-struct fields nothing reads are flagged as orphans the
+// API accepts and silently ignores.
+//
+// All schema data comes from the registry fact (see
+// internal/lint/registry); the analyzer itself only compares and anchors.
+// Each surface check is gated on that surface's package being among the
+// loaded targets, so a partial run never manufactures missing-surface
+// findings. Hook-typed knobs (functions, pointers, interfaces) are
+// library-only by construction and exempt from plumbing; deliberate
+// exceptions carry a reasoned //lint:ignore knobflow on the field.
+package knobflow
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/registry"
+)
+
+// Analyzer checks knob plumbing against the extracted registry.
+var Analyzer = &analysis.Analyzer{
+	Name:          "knobflow",
+	Doc:           "checks every Config knob reaches its surfaces (CLI flag, request JSON field, config hash, an engine read) and every enum knob round-trips Parse/String and is re-exported by the facade",
+	Run:           run,
+	NeedsRegistry: true,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Facts == nil {
+		return nil
+	}
+	var fact registry.Fact
+	if !pass.Facts.ObjectFact(registry.GlobalKey, &fact) {
+		return nil
+	}
+	// The registry is global but passes are per package: every finding is
+	// anchored at the declaration that must change, and reported only in
+	// the pass for the package owning that declaration.
+	here := pass.Pkg.Path()
+
+	for _, k := range fact.Knobs {
+		if k.Kind == "hook" || k.OwnerPkg != here {
+			continue
+		}
+		if fact.Seen[fact.FlagsPkg] && len(k.Flags) == 0 {
+			pass.Reportf(k.Pos, "knob %s has no command-line flag: no flag registration in %s flows into it", k.Path, fact.FlagsPkg)
+		}
+		if fact.Seen[fact.SubmitPkg] && len(k.JSONs) == 0 {
+			pass.Reportf(k.Pos, "knob %s has no HTTP surface: no request field in %s flows into it", k.Path, fact.SubmitPkg)
+		}
+		if fact.HashPos.IsValid() && !k.InHash {
+			pass.Reportf(k.Pos, "knob %s is not covered by the config hash (%s): two runs differing only in it would collide as reuse candidates", k.Path, position(pass.Fset, fact.HashPos))
+		}
+		if !k.Read {
+			pass.Reportf(k.Pos, "knob %s is never read outside the hash: dead knob — wire it into the engine or delete it", k.Path)
+		}
+	}
+
+	for _, e := range fact.Enums {
+		if e.Pkg != here {
+			continue
+		}
+		checkEnum(pass, &fact, e)
+	}
+
+	for _, f := range fact.Submit {
+		if f.Pkg != here || f.Used {
+			continue
+		}
+		pass.Reportf(f.Pos, "request field %s (json %q) is decoded but never read: the API accepts and silently ignores it", f.Name, f.JSON)
+	}
+	return nil
+}
+
+// checkEnum verifies one enum knob type's parse/print round-trip and its
+// facade re-export.
+func checkEnum(pass *analysis.Pass, fact *registry.Fact, e registry.Enum) {
+	typeName := e.TypeKey[strings.LastIndex(e.TypeKey, ".")+1:]
+
+	if !e.HasString {
+		pass.Reportf(e.Pos, "enum %s has no String method: its value cannot be rendered in logs or traces", typeName)
+	}
+	if e.ParseName == "" {
+		pass.Reportf(e.Pos, "enum %s has no parser func(string) (%s, bool): user surfaces cannot accept it by name", typeName, typeName)
+		return
+	}
+	if !e.ParseOpaque && !e.ParseZeroEmpty {
+		pass.Reportf(e.ParsePos, "%s does not accept \"\" as the zero value: an unset flag or JSON field must parse to the default, not fail", e.ParseName)
+	}
+	if e.HasString && !e.StringOpaque && !e.ParseOpaque {
+		for _, c := range consts(e) {
+			tag, ok := e.StringMap[c.Name]
+			if !ok {
+				pass.Reportf(c.Pos, "enum constant %s is not printed by %s.String: its value is unnameable in output", c.Name, typeName)
+				continue
+			}
+			if got, ok := e.ParseMap[tag]; !ok {
+				pass.Reportf(e.ParsePos, "%s does not accept %q, the String form of %s: the round-trip Parse(c.String()) == c is broken", e.ParseName, tag, c.Name)
+			} else if got != c.Name {
+				pass.Reportf(e.ParsePos, "%s maps %q to %s but %s.String prints it for %s: the round-trip is broken", e.ParseName, tag, got, typeName, c.Name)
+			}
+		}
+	}
+
+	if fact.FacadePkg != "" && fact.Seen[fact.FacadePkg] {
+		if !e.FacadeAliased {
+			pass.Reportf(e.Pos, "enum %s is not re-exported by %s: facade users cannot name the type", typeName, fact.FacadePkg)
+		}
+		if e.FacadeConstValues != nil {
+			var missing []string
+			for _, c := range consts(e) {
+				if !e.FacadeConstValues[c.Value] {
+					missing = append(missing, c.Name)
+				}
+			}
+			if len(missing) > 0 {
+				pass.Reportf(e.Pos, "enum %s constants %s have no re-export in %s", typeName, strings.Join(missing, ", "), fact.FacadePkg)
+			}
+		}
+		if !e.FacadeParse {
+			pass.Reportf(e.Pos, "enum %s has no parse wrapper in %s: facade users must import the internal package to parse it", typeName, fact.FacadePkg)
+		}
+	}
+}
+
+// consts returns the enum's constants sorted by name for deterministic
+// report order.
+func consts(e registry.Enum) []registry.EnumConst {
+	out := append([]registry.EnumConst(nil), e.Consts...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// position renders a cross-package witness position.
+func position(fset *token.FileSet, pos token.Pos) string {
+	return fset.Position(pos).String()
+}

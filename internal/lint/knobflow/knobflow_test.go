@@ -1,0 +1,26 @@
+package knobflow_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/knobflow"
+	"repro/internal/lint/registry"
+)
+
+// TestFixture proves one finding per injected drift: a knob without a
+// flag (Bins), without a JSON field (Quiet), outside the hash (Skew),
+// never read (Dead), an orphaned request field (Legacy), a parser that
+// rejects the zero value and breaks the String round-trip (ParseDir), and
+// an enum with no facade re-export (Dir) — while the fully plumbed K and
+// Mode stay silent.
+func TestFixture(t *testing.T) {
+	const root = "repro/internal/lint/knobflow/testdata/fixture"
+	analysistest.RunWithRegistry(t, "testdata/fixture", knobflow.Analyzer, registry.Config{
+		ConfigStruct: root + "/engine.Config",
+		HashMethod:   "Hash",
+		FlagsPkg:     root + "/cmdmain",
+		SubmitStruct: root + "/srv.Req",
+		FacadePkg:    root + "/facade",
+	})
+}

@@ -1,0 +1,33 @@
+// Command cmdmain is the fixture's flag surface: every knob except Bins
+// (the injected flag drift) is registered and wired into the Config.
+package main
+
+import (
+	"flag"
+
+	"repro/internal/lint/knobflow/testdata/fixture/engine"
+)
+
+var (
+	k     = flag.Float64("k", 1, "attraction weight")
+	skew  = flag.Float64("skew", 0, "skew factor")
+	quiet = flag.Bool("quiet", false, "suppress output")
+	dead  = flag.Int("dead", 0, "unused knob")
+	mode  = flag.String("mode", "fast", "algorithm mode")
+	dir   = flag.String("dir", "x", "solve direction")
+)
+
+func main() {
+	flag.Parse()
+	m, _ := engine.ParseMode(*mode)
+	d, _ := engine.ParseDir(*dir)
+	cfg := engine.Config{
+		K:     *k,
+		Skew:  *skew,
+		Quiet: *quiet,
+		Dead:  *dead,
+		Mode:  m,
+		Dir:   d,
+	}
+	engine.Run(&cfg)
+}

@@ -1,0 +1,126 @@
+// Package engine is the knobflow fixture's miniature placement engine:
+// a Config struct with one injected drift per plumbing surface, plus two
+// enum knobs — Mode with a clean parse/print/facade round-trip and Dir
+// with a broken parser and no facade re-export.
+package engine
+
+// Mode selects the fixture's algorithm variant. Fully plumbed: String and
+// Parse round-trip every constant, "" parses to the zero value, and the
+// facade package re-exports the type, constants and parser.
+type Mode int
+
+const (
+	ModeFast Mode = iota
+	ModeExact
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeExact:
+		return "exact"
+	default:
+		return "fast"
+	}
+}
+
+// ParseMode maps the wire names back to constants; "" is the default.
+func ParseMode(s string) (Mode, bool) {
+	switch s {
+	case "fast", "":
+		return ModeFast, true
+	case "exact":
+		return ModeExact, true
+	default:
+		return ModeFast, false
+	}
+}
+
+// Dir is the drifted enum: ParseDir rejects "" and never accepts "both",
+// and the facade re-exports nothing of it.
+type Dir int // want `enum Dir is not re-exported` `constants DirBoth, DirX, DirY have no re-export` `enum Dir has no parse wrapper`
+
+const (
+	DirX Dir = iota
+	DirY
+	DirBoth
+)
+
+func (d Dir) String() string {
+	switch d {
+	case DirX:
+		return "x"
+	case DirY:
+		return "y"
+	default:
+		return "both"
+	}
+}
+
+// ParseDir drifted from String: DirBoth's printed form is unparseable and
+// the zero value must be spelled out.
+func ParseDir(s string) (Dir, bool) { // want `ParseDir does not accept "" as the zero value` `ParseDir does not accept "both", the String form of DirBoth`
+	switch s {
+	case "x":
+		return DirX, true
+	case "y":
+		return DirY, true
+	default:
+		return DirX, false
+	}
+}
+
+// Config carries the fixture knobs, one drift each.
+type Config struct {
+	// K is fully plumbed: flag, JSON, hash, read.
+	K float64
+	// Bins misses its command-line flag.
+	Bins int // want `knob Bins has no command-line flag`
+	// Skew is plumbed everywhere but left out of Hash.
+	Skew float64 // want `knob Skew is not covered by the config hash`
+	// Quiet misses its JSON field.
+	Quiet bool // want `knob Quiet has no HTTP surface`
+	// Dead is plumbed and hashed but nothing ever reads it.
+	Dead int // want `knob Dead is never read outside the hash`
+	// Mode and Dir are the enum knobs.
+	Mode Mode
+	Dir  Dir
+	// OnStep is a hook: exempt from plumbing.
+	OnStep func(int)
+}
+
+// Hash folds the algorithmic knobs; Skew is the injected omission.
+func (c *Config) Hash() uint64 {
+	h := uint64(1469598103934665603)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	mix(uint64(c.K))
+	mix(uint64(c.Bins))
+	if c.Quiet {
+		mix(1)
+	}
+	mix(uint64(c.Dead))
+	mix(uint64(c.Mode))
+	mix(uint64(c.Dir))
+	return h
+}
+
+// Run reads every live knob (everything except Dead).
+func Run(c *Config) float64 {
+	out := c.K * float64(c.Bins)
+	out += c.Skew
+	if c.Quiet {
+		out = -out
+	}
+	if c.Mode == ModeExact {
+		out *= 2
+	}
+	if c.Dir == DirBoth {
+		out *= 3
+	}
+	if c.OnStep != nil {
+		c.OnStep(int(out))
+	}
+	return out
+}

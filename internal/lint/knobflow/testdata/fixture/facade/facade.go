@@ -1,0 +1,17 @@
+// Package facade re-exports the engine's public vocabulary — completely
+// for Mode, not at all for Dir (the injected facade drift).
+package facade
+
+import "repro/internal/lint/knobflow/testdata/fixture/engine"
+
+// Mode re-exports the engine's mode enum.
+type Mode = engine.Mode
+
+// Re-exported mode constants.
+const (
+	ModeFast  = engine.ModeFast
+	ModeExact = engine.ModeExact
+)
+
+// ParseMode re-exports the mode parser.
+func ParseMode(s string) (Mode, bool) { return engine.ParseMode(s) }

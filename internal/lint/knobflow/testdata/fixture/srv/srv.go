@@ -1,0 +1,32 @@
+// Package srv is the fixture's HTTP surface: every knob except Quiet
+// (the injected JSON drift) has a request field, and Legacy is the orphan
+// the API decodes but never reads.
+package srv
+
+import "repro/internal/lint/knobflow/testdata/fixture/engine"
+
+// Req mirrors the engine knobs onto the wire.
+type Req struct {
+	K      float64 `json:"k"`
+	Bins   int     `json:"bins"`
+	Skew   float64 `json:"skew"`
+	Dead   int     `json:"dead"`
+	Mode   string  `json:"mode"`
+	Dir    string  `json:"dir"`
+	Legacy bool    `json:"legacy"` // want `request field Legacy \(json "legacy"\) is decoded but never read`
+}
+
+// Handle wires a request into a Config.
+func Handle(r Req) float64 {
+	m, _ := engine.ParseMode(r.Mode)
+	d, _ := engine.ParseDir(r.Dir)
+	cfg := engine.Config{
+		K:    r.K,
+		Bins: r.Bins,
+		Skew: r.Skew,
+		Dead: r.Dead,
+		Mode: m,
+		Dir:  d,
+	}
+	return engine.Run(&cfg)
+}

@@ -23,25 +23,33 @@
 package lint
 
 import (
+	"fmt"
 	"go/token"
+	"io"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/lint/analysis"
 	"repro/internal/lint/callgraph"
 	"repro/internal/lint/ctxflow"
 	"repro/internal/lint/detrange"
+	"repro/internal/lint/enumswitch"
 	"repro/internal/lint/errflow"
 	"repro/internal/lint/floatcmp"
 	"repro/internal/lint/golife"
 	"repro/internal/lint/hotalloc"
+	"repro/internal/lint/knobflow"
 	"repro/internal/lint/load"
 	"repro/internal/lint/lockheld"
 	"repro/internal/lint/lockorder"
 	"repro/internal/lint/nilsafe"
 	"repro/internal/lint/noclock"
 	"repro/internal/lint/parpolicy"
+	"repro/internal/lint/phasereg"
+	"repro/internal/lint/registry"
 	"repro/internal/lint/sharecap"
+	"repro/internal/obsv"
 )
 
 // StaleIgnore is the pseudo-analyzer stale-suppression findings are
@@ -116,6 +124,11 @@ func matchAny(pats []string, path string) bool {
 //     everywhere: a lock-order inversion, a leaked goroutine, or an
 //     unsynchronized captured write is a program property — the analyzers
 //     already anchor each finding to the package that owns the witness.
+//   - knobflow and phasereg (the v4 contract suite) apply everywhere: the
+//     registry is extracted from the whole tree and each finding is
+//     anchored in the one package owning the declaration that must change.
+//   - enumswitch applies everywhere: a silent fall-through on a new enum
+//     constant is wrong in a cmd exactly as in the solver.
 //   - staleignore applies everywhere a directive can appear.
 func Rules() []Rule {
 	reporting := []string{
@@ -148,7 +161,44 @@ func Rules() []Rule {
 		{Analyzer: lockorder.Analyzer},
 		{Analyzer: golife.Analyzer},
 		{Analyzer: sharecap.Analyzer},
+		{Analyzer: knobflow.Analyzer},
+		{Analyzer: phasereg.Analyzer},
+		{Analyzer: enumswitch.Analyzer},
 		{Analyzer: StaleIgnore},
+	}
+}
+
+// RegistryConfig names the repo's contract anchors: where the knob,
+// phase and metric schemas live. The v4 analyzers compare every mirror
+// surface against these.
+func RegistryConfig() registry.Config {
+	return registry.Config{
+		ConfigStruct: "repro/internal/place.Config",
+		HashMethod:   "Hash",
+		FlagsPkg:     "repro/cmd/kplace",
+		SubmitStruct: "repro/internal/serve.SubmitRequest",
+		FacadePkg:    "repro",
+
+		IterStruct:    "repro/internal/place.IterStats",
+		TotalsStruct:  "repro/internal/place.PhaseTotals",
+		SpanPkg:       "repro/internal/place",
+		SpanPrefix:    "place/",
+		PhaseKeysFunc: "repro/internal/place.PhaseKeys",
+		EventStruct:   "repro/internal/serve.Event",
+		// serve's streaming event carries one aggregate solve time; the
+		// three solver phases collapse into it by design.
+		EventCollapse: map[string][]string{
+			"solve": {"solve-x", "solve-y", "solve-pair"},
+		},
+		WaterfallPkg:    "repro/internal/serve",
+		WaterfallPrefix: "phase/",
+		// The waterfall renders the pipeline stages a job passes through;
+		// solve-pair is an alternative to solve-x/solve-y (never both in
+		// one iteration) and step is the enclosing span itself.
+		WaterfallExempt: []string{"solve-pair", "step"},
+		TraceCheckVar:   "repro/cmd/ktracecheck.knownPhaseKeys",
+
+		MetricsType: "repro/internal/obsv.Registry",
 	}
 }
 
@@ -215,11 +265,23 @@ type Finding struct {
 type Options struct {
 	// Graph overrides the interprocedural root set; nil means GraphConfig().
 	Graph *callgraph.Config
-	// NoFacts skips the whole-program fact phase. Analyzers that declare
-	// NeedsFacts then see a nil store and stay silent.
+	// Registry overrides the contract-schema anchors; nil means
+	// RegistryConfig(). Fixture tests point this at their own structs.
+	Registry *registry.Config
+	// NoFacts skips the whole-program fact and registry phases. Analyzers
+	// that declare NeedsFacts or NeedsRegistry then see a nil store and
+	// stay silent.
 	NoFacts bool
 	// CheckStale reports //lint:ignore directives that suppressed nothing.
 	CheckStale bool
+}
+
+// Timing is the accumulated wall time of one analyzer across every
+// package it ran on. The pseudo-analyzer names "facts" and "registry"
+// carry the whole-program phases.
+type Timing struct {
+	Analyzer string
+	Wall     time.Duration
 }
 
 // Result is the outcome of one suite run.
@@ -228,6 +290,9 @@ type Result struct {
 	// Fset resolves the positions inside Findings (one shared FileSet
 	// spans every loaded package), which ApplyFixes needs.
 	Fset *token.FileSet
+	// Timings lists per-analyzer wall time, slowest first (kvet
+	// -debug-timing renders it).
+	Timings []Timing
 }
 
 // RunSuite applies the rule set to the loaded packages: one whole-program
@@ -239,6 +304,7 @@ func RunSuite(pkgs []*load.Package, rules []Rule, opts Options) (*Result, error)
 		return &Result{}, nil
 	}
 	res := &Result{Fset: pkgs[0].Fset}
+	wall := make(map[string]time.Duration)
 
 	var store *callgraph.Store
 	if !opts.NoFacts && anyNeedsFacts(rules) {
@@ -247,7 +313,21 @@ func RunSuite(pkgs []*load.Package, rules []Rule, opts Options) (*Result, error)
 			cfg = *opts.Graph
 		}
 		store = callgraph.NewStore()
+		sw := obsv.StartTimer()
 		callgraph.Analyze(pkgs, store, cfg)
+		wall["facts"] = sw.Elapsed()
+	}
+	if !opts.NoFacts && anyNeedsRegistry(rules) {
+		if store == nil {
+			store = callgraph.NewStore()
+		}
+		rcfg := RegistryConfig()
+		if opts.Registry != nil {
+			rcfg = *opts.Registry
+		}
+		sw := obsv.StartTimer()
+		registry.Analyze(pkgs, store, rcfg)
+		wall["registry"] = sw.Elapsed()
 	}
 
 	ix := collectIgnores(pkgs)
@@ -282,7 +362,10 @@ func RunSuite(pkgs []*load.Package, rules []Rule, opts Options) (*Result, error)
 					Fixes:    d.SuggestedFixes,
 				})
 			}
-			if err := a.Run(pass); err != nil {
+			sw := obsv.StartTimer()
+			err := a.Run(pass)
+			wall[name] += sw.Elapsed()
+			if err != nil {
 				return nil, err
 			}
 		}
@@ -293,12 +376,57 @@ func RunSuite(pkgs []*load.Package, rules []Rule, opts Options) (*Result, error)
 	}
 
 	sortFindings(res.Findings)
+	res.Findings = dedupeFindings(res.Findings)
+	res.Timings = sortTimings(wall)
 	return res, nil
+}
+
+// dedupeFindings collapses identical (analyzer, position, message)
+// findings to one. Overlapping load patterns and whole-program analyzers
+// re-anchoring through shared packages can both surface the same
+// diagnostic twice; one defect, one line of output. Input must be sorted.
+func dedupeFindings(fs []Finding) []Finding {
+	out := fs[:0]
+	for i, f := range fs {
+		if i > 0 {
+			p := out[len(out)-1]
+			if p.File == f.File && p.Line == f.Line && p.Col == f.Col &&
+				p.Analyzer == f.Analyzer && p.Message == f.Message {
+				continue
+			}
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// sortTimings renders the wall map slowest-first, ties by name.
+func sortTimings(wall map[string]time.Duration) []Timing {
+	out := make([]Timing, 0, len(wall))
+	for name, d := range wall {
+		out = append(out, Timing{Analyzer: name, Wall: d})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Wall != out[j].Wall {
+			return out[i].Wall > out[j].Wall
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
 }
 
 func anyNeedsFacts(rules []Rule) bool {
 	for _, r := range rules {
 		if r.Analyzer.NeedsFacts {
+			return true
+		}
+	}
+	return false
+}
+
+func anyNeedsRegistry(rules []Rule) bool {
+	for _, r := range rules {
+		if r.Analyzer.NeedsRegistry {
 			return true
 		}
 	}
@@ -449,6 +577,37 @@ func collectIgnores(pkgs []*load.Package) *ignoreIndex {
 		}
 	}
 	return ix
+}
+
+// WriteList renders the rule set for kvet -list: one line per analyzer,
+// sorted by name, with the first sentence of its doc string. The full
+// paragraph stays in the analyzer's package documentation; the listing is
+// a table of contents, not a manual.
+func WriteList(w io.Writer, rules []Rule) error {
+	byName := make(map[string]*analysis.Analyzer, len(rules))
+	for _, r := range rules {
+		byName[r.Analyzer.Name] = r.Analyzer
+	}
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "%-12s %s\n", name, firstSentence(byName[name].Doc)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// firstSentence cuts doc at the first period-space boundary; docs without
+// one are already a single sentence.
+func firstSentence(doc string) string {
+	if i := strings.Index(doc, ". "); i >= 0 {
+		return doc[:i+1]
+	}
+	return strings.TrimSpace(doc)
 }
 
 // Analyzers returns every analyzer in the suite, for drivers that want to

@@ -1,16 +1,22 @@
 package lint_test
 
 import (
+	"bytes"
 	"os"
+	"reflect"
 	"strings"
 	"testing"
 
 	"repro/internal/lint"
 	"repro/internal/lint/callgraph"
+	"repro/internal/lint/enumswitch"
 	"repro/internal/lint/floatcmp"
 	"repro/internal/lint/golife"
+	"repro/internal/lint/knobflow"
 	"repro/internal/lint/load"
 	"repro/internal/lint/lockorder"
+	"repro/internal/lint/phasereg"
+	"repro/internal/lint/registry"
 	"repro/internal/lint/sharecap"
 )
 
@@ -132,6 +138,103 @@ func TestStaleIgnoreV3Analyzers(t *testing.T) {
 		if !strings.Contains(staleNames[i], want) {
 			t.Errorf("stale finding %d = %q, want it to name %s", i, staleNames[i], want)
 		}
+	}
+}
+
+// TestStaleIgnoreV4Analyzers runs the contract analyzers over a fixture
+// whose knobflow directive suppresses a real dead-knob finding (live)
+// while its phasereg and enumswitch directives suppress nothing: exactly
+// those two must come back as staleignore findings.
+func TestStaleIgnoreV4Analyzers(t *testing.T) {
+	pkgs, err := load.Load(load.Config{Dir: "testdata/stalev4"}, ".")
+	if err != nil {
+		t.Fatalf("loading stalev4 fixture: %v", err)
+	}
+	rules := []lint.Rule{
+		{Analyzer: knobflow.Analyzer},
+		{Analyzer: phasereg.Analyzer},
+		{Analyzer: enumswitch.Analyzer},
+	}
+	res, err := lint.RunSuite(pkgs, rules, lint.Options{
+		Registry: &registry.Config{
+			ConfigStruct: "repro/internal/lint/testdata/stalev4.Config",
+			HashMethod:   "Hash",
+		},
+		CheckStale: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var staleNames []string
+	for _, f := range res.Findings {
+		if f.Analyzer != "staleignore" {
+			t.Errorf("unexpected non-stale finding: %s:%d [%s] %s", f.File, f.Line, f.Analyzer, f.Message)
+			continue
+		}
+		staleNames = append(staleNames, f.Message)
+	}
+	if len(staleNames) != 2 {
+		t.Fatalf("want 2 stale directives (enumswitch, phasereg), got %d: %v", len(staleNames), staleNames)
+	}
+	for i, want := range []string{"enumswitch", "phasereg"} {
+		if !strings.Contains(staleNames[i], want) {
+			t.Errorf("stale finding %d = %q, want it to name %s", i, staleNames[i], want)
+		}
+	}
+}
+
+// TestDedupeFindings proves identical (analyzer, position, message)
+// triples from overlapping package loads print once: running the suite
+// over the same package listed twice yields exactly the single-load
+// findings.
+func TestDedupeFindings(t *testing.T) {
+	pkgs, err := load.Load(load.Config{Dir: "enumswitch/testdata/fixture"}, ".")
+	if err != nil {
+		t.Fatalf("loading enumswitch fixture: %v", err)
+	}
+	single, err := lint.RunSuite(pkgs, []lint.Rule{{Analyzer: enumswitch.Analyzer}}, lint.Options{NoFacts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(single.Findings) == 0 {
+		t.Fatal("fixture yields no findings to deduplicate")
+	}
+	doubled := append(append([]*load.Package(nil), pkgs...), pkgs...)
+	deduped, err := lint.RunSuite(doubled, []lint.Rule{{Analyzer: enumswitch.Analyzer}}, lint.Options{NoFacts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripFixes(single.Findings), stripFixes(deduped.Findings)) {
+		t.Errorf("doubled load yields %d finding(s), single load %d: deduplication failed\n doubled: %+v\n single: %+v",
+			len(deduped.Findings), len(single.Findings), deduped.Findings, single.Findings)
+	}
+}
+
+// stripFixes clears the fix slices so DeepEqual compares finding identity
+// (analyzer, position, message), not fix pointer equality.
+func stripFixes(fs []lint.Finding) []lint.Finding {
+	out := append([]lint.Finding(nil), fs...)
+	for i := range out {
+		out[i].Fixes = nil
+	}
+	return out
+}
+
+// TestWriteListGolden pins kvet -list output: one sorted line per
+// analyzer with its one-line doc, compared against testdata/list.golden.
+// Regenerate the golden by hand when adding an analyzer — the diff in
+// review is the point.
+func TestWriteListGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := lint.WriteList(&buf, lint.Rules()); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/list.golden")
+	if err != nil {
+		t.Fatalf("reading golden: %v", err)
+	}
+	if buf.String() != string(want) {
+		t.Errorf("kvet -list output differs from testdata/list.golden:\n%s", lint.Diff("list.golden", want, buf.Bytes()))
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 )
 
 // Package is one parsed and type-checked package.
@@ -56,15 +57,58 @@ type Config struct {
 	BuildTags string
 }
 
+// cache memoizes Load results for the process lifetime, keyed by the
+// resolved working directory, build tags and patterns. One kvet
+// invocation (or one test binary) then pays the go list + parse +
+// typecheck cost once per distinct pattern set, no matter how many
+// analyzers or subtests ask for the same packages. Results are shared,
+// not copied: callers must treat the returned packages as read-only,
+// which every analysis pass already does.
+var cache struct {
+	mu sync.Mutex
+	m  map[string][]*Package
+}
+
+func cacheKey(cfg Config, patterns []string) string {
+	dir := cfg.Dir
+	if abs, err := filepath.Abs(dir); err == nil {
+		dir = abs
+	}
+	return dir + "\x00" + cfg.BuildTags + "\x00" + strings.Join(patterns, "\x00")
+}
+
 // Load lists, parses and type-checks the packages matching patterns. Only
 // packages named by the patterns are returned; dependencies are consumed
 // as compiled export data. Returns an error on the first package that
 // fails to list, parse or type-check — an analyzer run on a broken tree
-// would report nonsense.
+// would report nonsense. Successful results are memoized per (dir, tags,
+// patterns) for the process lifetime; see cache.
 func Load(cfg Config, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	key := cacheKey(cfg, patterns)
+	cache.mu.Lock()
+	cached, ok := cache.m[key]
+	cache.mu.Unlock()
+	if ok {
+		return cached, nil
+	}
+	pkgs, err := load(cfg, patterns)
+	if err != nil {
+		return nil, err
+	}
+	cache.mu.Lock()
+	if cache.m == nil {
+		cache.m = make(map[string][]*Package)
+	}
+	cache.m[key] = pkgs
+	cache.mu.Unlock()
+	return pkgs, nil
+}
+
+// load is the uncached Load body.
+func load(cfg Config, patterns []string) ([]*Package, error) {
 	args := []string{"list", "-export", "-json=Dir,ImportPath,Export,GoFiles,DepOnly,Incomplete,Error", "-deps"}
 	if cfg.BuildTags != "" {
 		args = append(args, "-tags", cfg.BuildTags)
@@ -81,6 +125,7 @@ func Load(cfg Config, patterns ...string) ([]*Package, error) {
 
 	exports := make(map[string]string)
 	var targets []listEntry
+	seen := make(map[string]bool)
 	dec := json.NewDecoder(&stdout)
 	for {
 		var e listEntry
@@ -95,7 +140,11 @@ func Load(cfg Config, patterns ...string) ([]*Package, error) {
 		if e.Export != "" {
 			exports[e.ImportPath] = e.Export
 		}
-		if !e.DepOnly && len(e.GoFiles) > 0 {
+		// Overlapping patterns ("./...", "./internal/...") list the same
+		// package more than once; type-check each import path only once
+		// so downstream passes never see duplicate packages.
+		if !e.DepOnly && len(e.GoFiles) > 0 && !seen[e.ImportPath] {
+			seen[e.ImportPath] = true
 			targets = append(targets, e)
 		}
 	}

@@ -1,0 +1,151 @@
+// Package phasereg checks the phase and metric registries. The canonical
+// phase list is the t_<phase>_ns JSON tags of the per-iteration stats
+// struct; every mirror surface — the per-run totals struct, the span-name
+// literals, the PhaseKeys function, serve's streaming event fields, the
+// trace waterfall, ktracecheck's key allowlist — must carry exactly that
+// list, minus each surface's declared exemptions and modulo declared
+// aggregations (serve's one "solve" field standing in for the three solve
+// phases). A phase added to the stats struct but not to a surface would
+// silently vanish from that surface's output; phasereg turns the drift
+// into a finding anchored at the surface that must change, with the
+// canonical declaration as witness.
+//
+// The metric half enforces the obsv registration contract: family names
+// must be legal Prometheus identifiers, counters must end in _total, one
+// family must not be registered under two kinds, and no registered family
+// may collide with a histogram's derived families (fam_bucket, fam_sum,
+// fam_count, and the fam_p50/_p95/_p99 quantile gauges), which the
+// exporter synthesizes at scrape time.
+package phasereg
+
+import (
+	"regexp"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/registry"
+)
+
+// Analyzer checks phase surfaces and metric names against the registry.
+var Analyzer = &analysis.Analyzer{
+	Name:          "phasereg",
+	Doc:           "checks every phase surface (totals struct, spans, PhaseKeys, serve events, trace waterfall, ktracecheck allowlist) mirrors the canonical t_<phase>_ns list, and metric registrations follow the Prometheus naming and histogram-derivation rules",
+	Run:           run,
+	NeedsRegistry: true,
+}
+
+// promFamily is the legal shape of a Prometheus metric family name.
+var promFamily = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// derivedSuffixes are the families the obsv exporter synthesizes per
+// histogram at scrape time.
+var derivedSuffixes = []string{"_bucket", "_sum", "_count", "_p50", "_p95", "_p99"}
+
+func run(pass *analysis.Pass) error {
+	if pass.Facts == nil {
+		return nil
+	}
+	var fact registry.Fact
+	if !pass.Facts.ObjectFact(registry.GlobalKey, &fact) {
+		return nil
+	}
+	here := pass.Pkg.Path()
+	if fact.CanonOK {
+		for _, s := range fact.Surfaces {
+			if s.Pkg != here || !fact.Seen[s.Pkg] {
+				continue
+			}
+			checkSurface(pass, &fact, s)
+		}
+	}
+	checkMetrics(pass, &fact, here)
+	return nil
+}
+
+// checkSurface compares one surface against the canonical list: every
+// canonical phase must be present, exempt, or aggregated; every surface
+// entry must be canonical or an aggregation key.
+func checkSurface(pass *analysis.Pass, fact *registry.Fact, s registry.Surface) {
+	exempt := make(map[string]bool, len(s.Exempt))
+	for _, e := range s.Exempt {
+		exempt[e] = true
+	}
+	entries := make([]string, 0, len(s.Collapse))
+	for entry := range s.Collapse {
+		entries = append(entries, entry)
+	}
+	sort.Strings(entries)
+	collapsed := make(map[string]string) // canonical phase -> aggregate entry
+	for _, entry := range entries {
+		for _, p := range s.Collapse[entry] {
+			collapsed[p] = entry
+		}
+	}
+	present := make(map[string]bool, len(s.Present))
+	for _, p := range s.Present {
+		present[p.Name] = true
+	}
+
+	for _, c := range fact.Canon {
+		if present[c.Name] || exempt[c.Name] {
+			continue
+		}
+		if agg, ok := collapsed[c.Name]; ok && present[agg] {
+			continue
+		}
+		pass.Reportf(s.Anchor, "phase surface %q is missing phase %q declared canonically at %s: add it or exempt it explicitly", s.Name, c.Name, pass.Fset.Position(c.Pos))
+	}
+
+	canon := make(map[string]bool, len(fact.Canon))
+	for _, c := range fact.Canon {
+		canon[c.Name] = true
+	}
+	for _, p := range s.Present {
+		if canon[p.Name] {
+			continue
+		}
+		if _, isAgg := s.Collapse[p.Name]; isAgg {
+			continue
+		}
+		pass.Reportf(p.Pos, "phase surface %q carries %q, which is not a canonical phase: the stats struct defines the list at %s", s.Name, p.Name, pass.Fset.Position(fact.Canon[0].Pos))
+	}
+}
+
+// checkMetrics enforces naming rules and cross-family collisions for the
+// registrations owned by the current package.
+func checkMetrics(pass *analysis.Pass, fact *registry.Fact, here string) {
+	kinds := make(map[string][]registry.Metric)
+	for _, m := range fact.Metrics {
+		kinds[m.Family] = append(kinds[m.Family], m)
+	}
+
+	for _, m := range fact.Metrics {
+		if m.Pkg != here {
+			continue
+		}
+		if !promFamily.MatchString(m.Family) {
+			pass.Reportf(m.Pos, "metric family %q is not a legal Prometheus name (want %s)", m.Family, promFamily)
+		}
+		if m.Kind == "counter" && !strings.HasSuffix(m.Family, "_total") {
+			pass.Reportf(m.Pos, "counter family %q does not end in _total: Prometheus counter naming requires the unit-total suffix", m.Family)
+		}
+		if m.Help == "" {
+			pass.Reportf(m.Pos, "metric family %q is registered without help text", m.Family)
+		}
+		for _, other := range kinds[m.Family] {
+			if other.Kind != m.Kind {
+				pass.Reportf(m.Pos, "metric family %q is registered both as %s here and as %s at %s: one family, one kind", m.Family, m.Kind, other.Kind, pass.Fset.Position(other.Pos))
+				break
+			}
+		}
+		if m.Kind == "histogram" {
+			for _, suf := range derivedSuffixes {
+				derived := m.Family + suf
+				if others, ok := kinds[derived]; ok {
+					pass.Reportf(m.Pos, "histogram family %q derives %q at scrape time, colliding with the %s registered at %s", m.Family, derived, others[0].Kind, pass.Fset.Position(others[0].Pos))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package phasereg_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/phasereg"
+	"repro/internal/lint/registry"
+)
+
+// TestFixture proves one finding per injected drift: the totals struct
+// missing gamma, the keys function carrying non-canonical delta, the
+// waterfall missing beta (events stay clean through the declared "rest"
+// collapse), the trace-key allowlist missing gamma, and one metric
+// finding per naming rule — while the clean surfaces stay silent.
+func TestFixture(t *testing.T) {
+	const root = "repro/internal/lint/phasereg/testdata/fixture"
+	analysistest.RunWithRegistry(t, "testdata/fixture", phasereg.Analyzer, registry.Config{
+		IterStruct:      root + "/eng.Stats",
+		TotalsStruct:    root + "/eng.Totals",
+		SpanPkg:         root + "/eng",
+		SpanPrefix:      "ph/",
+		PhaseKeysFunc:   root + "/eng.Keys",
+		EventStruct:     root + "/srv.Event",
+		EventCollapse:   map[string][]string{"rest": {"beta"}},
+		WaterfallPkg:    root + "/srv",
+		WaterfallPrefix: "wf/",
+		TraceCheckVar:   root + "/tc.known",
+		MetricsType:     root + "/met.Reg",
+	})
+}

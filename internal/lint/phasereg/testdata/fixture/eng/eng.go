@@ -1,0 +1,29 @@
+// Package eng is the phasereg fixture's engine: the canonical phase list
+// (alpha, beta, gamma from Stats' t_*_ns tags) plus three mirror surfaces
+// with injected drift — a totals struct missing gamma, clean span names,
+// and a keys function carrying the non-canonical delta.
+package eng
+
+// Stats defines the canonical list through its trace tags.
+type Stats struct {
+	TAlpha int64 `json:"t_alpha_ns"`
+	TBeta  int64 `json:"t_beta_ns"`
+	TGamma int64 `json:"t_gamma_ns"`
+}
+
+// Totals drifted: no Gamma field.
+type Totals struct { // want `phase surface "totals" is missing phase "gamma"`
+	Alpha int64
+	Beta  int64
+}
+
+// SpanNames is the clean span surface: one ph/<phase> literal per phase.
+// The labelled literal is a span label, not a phase, and must not count.
+func SpanNames() []string {
+	return []string{"ph/alpha", "ph/beta", "ph/gamma", "ph/alpha pass one"}
+}
+
+// Keys drifted the other way: delta is not canonical.
+func Keys() []string {
+	return []string{"alpha", "beta", "gamma", "delta"} // want `phase surface "keysfn" carries "delta", which is not a canonical phase`
+}

@@ -1,0 +1,21 @@
+// Package met is the fixture's metrics registry type plus registrations
+// exercising the naming and collision rules.
+package met
+
+// Reg mimics the obsv registry surface.
+type Reg struct{}
+
+func (r *Reg) Counter(name, help string)                      {}
+func (r *Reg) Gauge(name, help string)                        {}
+func (r *Reg) Histogram(name, help string, buckets []float64) {}
+
+// Register exercises one rule per call.
+func Register(r *Reg) {
+	r.Counter("jobs_total", "jobs accepted")
+	r.Counter("steps", "steps run")                // want `counter family "steps" does not end in _total`
+	r.Gauge(`Depth{queue="a"}`, "queue depth")     // want `metric family "Depth" is not a legal Prometheus name`
+	r.Gauge("workers", "")                         // want `metric family "workers" is registered without help text`
+	r.Histogram("lat_seconds", "job latency", nil) // clean
+	r.Histogram("dur", "durations", nil)           // want `histogram family "dur" derives "dur_p50" at scrape time, colliding with the gauge`
+	r.Gauge("dur_p50", "median duration")
+}

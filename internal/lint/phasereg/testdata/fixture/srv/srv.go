@@ -1,0 +1,17 @@
+// Package srv carries the fixture's serving surfaces: a clean streaming
+// event struct (beta collapses into the aggregate "rest" field) and a
+// trace waterfall missing beta. The missing-phase finding anchors on the
+// package clause because the waterfall surface has no single declaration.
+package srv // want `phase surface "waterfall" is missing phase "beta"`
+
+// Event mirrors alpha and gamma directly; beta rides in the aggregate.
+type Event struct {
+	AlphaNS int64 `json:"alpha_ns"`
+	GammaNS int64 `json:"gamma_ns"`
+	RestNS  int64 `json:"rest_ns"`
+}
+
+// Waterfall emits wf/<phase> child spans — beta was forgotten.
+func Waterfall() []string {
+	return []string{"wf/alpha", "wf/gamma"}
+}

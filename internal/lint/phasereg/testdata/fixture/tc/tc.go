@@ -1,0 +1,11 @@
+// Package tc is the fixture's trace-check surface: the key allowlist
+// drifted by losing gamma.
+package tc
+
+var known = map[string]bool{ // want `phase surface "tracecheck" is missing phase "gamma"`
+	"t_alpha_ns": true,
+	"t_beta_ns":  true,
+}
+
+// Known reports whether key is an allowed trace key.
+func Known(key string) bool { return known[key] }

@@ -1,0 +1,919 @@
+package registry
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/load"
+)
+
+// knobs walks the Config struct (one level into nested struct fields),
+// classifies each field, and computes the InHash and Read bits.
+func (ex *extractor) knobs() {
+	pkgPath, name := splitKey(ex.cfg.ConfigStruct)
+	p := ex.byPath[pkgPath]
+	if p == nil || name == "" {
+		return
+	}
+	ts := typeSpec(p, name)
+	if ts == nil {
+		return
+	}
+	st, ok := ts.Type.(*ast.StructType)
+	if !ok {
+		return
+	}
+	ex.fact.ConfigPkg = pkgPath
+	ex.knobField = make(map[string]types.Object)
+	ex.structKnobs(p, st, "", 0)
+
+	hashPaths := ex.hashPaths(p, name)
+	for i := range ex.fact.Knobs {
+		k := &ex.fact.Knobs[i]
+		if hashPaths[k.Path] {
+			k.InHash = true
+			continue
+		}
+		// A parent path in the hash (hashing the whole nested struct)
+		// covers every knob below it.
+		for dot := strings.LastIndex(k.Path, "."); dot > 0; dot = strings.LastIndex(k.Path[:dot], ".") {
+			if hashPaths[k.Path[:dot]] {
+				k.InHash = true
+				break
+			}
+		}
+	}
+	ex.readSweep()
+}
+
+// structKnobs records one knob per exported field; named-struct fields
+// recurse one level into the nested struct's own declaration (which may
+// live in another package).
+func (ex *extractor) structKnobs(p *load.Package, st *ast.StructType, prefix string, depth int) {
+	for _, fl := range st.Fields.List {
+		t := p.Info.Types[fl.Type].Type
+		if t == nil {
+			continue
+		}
+		for _, nm := range fl.Names {
+			if !nm.IsExported() {
+				continue
+			}
+			path := prefix + nm.Name
+			kind, enumKey, nested := classify(t)
+			if kind == "struct" {
+				if nested == nil || depth > 0 {
+					continue // anonymous or too deep: not a knob surface
+				}
+				np := ex.byPath[nested.Obj().Pkg().Path()]
+				if np == nil {
+					continue // nested struct's package not loaded: skip
+				}
+				nts := typeSpec(np, nested.Obj().Name())
+				if nts == nil {
+					continue
+				}
+				if nst, ok := nts.Type.(*ast.StructType); ok {
+					ex.structKnobs(np, nst, path+".", depth+1)
+				}
+				continue
+			}
+			ex.fact.Knobs = append(ex.fact.Knobs, Knob{
+				Path:     path,
+				Pos:      nm.Pos(),
+				OwnerPkg: p.ImportPath,
+				Kind:     kind,
+				EnumType: enumKey,
+			})
+			ex.knobField[path] = p.Info.Defs[nm]
+		}
+	}
+}
+
+// classify buckets a field type: hooks (functions, interfaces, pointers,
+// channels, maps, slices) are exempt from plumbing; named basic types with
+// two or more typed constants are enums; named structs recurse.
+func classify(t types.Type) (kind, enumKey string, nested *types.Named) {
+	switch t.Underlying().(type) {
+	case *types.Signature, *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Slice:
+		return "hook", "", nil
+	case *types.Struct:
+		n, _ := t.(*types.Named)
+		return "struct", "", n
+	case *types.Basic:
+		if n, ok := t.(*types.Named); ok && n.Obj().Pkg() != nil {
+			if len(constsOf(n)) >= 2 {
+				return "enum", typeKeyOf(n), nil
+			}
+		}
+		return "scalar", "", nil
+	}
+	return "scalar", "", nil
+}
+
+// constsOf lists the package-scope constants of exactly type n, sorted by
+// name. Works on source-checked and export-data packages alike.
+func constsOf(n *types.Named) []*types.Const {
+	scope := n.Obj().Pkg().Scope()
+	var out []*types.Const
+	for _, name := range scope.Names() { // Names() is sorted
+		if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(c.Type(), n) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// hashPaths collects the receiver-rooted selector paths the hash method
+// reads ("K", "CG.Tol", "BeforeTransform").
+func (ex *extractor) hashPaths(p *load.Package, typeName string) map[string]bool {
+	paths := make(map[string]bool)
+	decl := methodDecl(p, typeName, ex.cfg.HashMethod)
+	if decl == nil || decl.Body == nil {
+		return paths
+	}
+	ex.fact.HashPos = decl.Pos()
+	if len(decl.Recv.List) == 0 || len(decl.Recv.List[0].Names) == 0 {
+		return paths
+	}
+	recv := p.Info.Defs[decl.Recv.List[0].Names[0]]
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if path, ok := selPath(p, sel, recv); ok {
+			paths[path] = true
+			return false
+		}
+		return true
+	})
+	return paths
+}
+
+// selPath renders a selector chain rooted at root ("c.CG.Tol" -> "CG.Tol").
+func selPath(p *load.Package, sel *ast.SelectorExpr, root types.Object) (string, bool) {
+	var parts []string
+	expr := ast.Expr(sel)
+	for {
+		switch e := expr.(type) {
+		case *ast.SelectorExpr:
+			parts = append(parts, e.Sel.Name)
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.Ident:
+			if p.Info.Uses[e] != root || root == nil {
+				return "", false
+			}
+			for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+				parts[i], parts[j] = parts[j], parts[i]
+			}
+			return strings.Join(parts, "."), true
+		default:
+			return "", false
+		}
+	}
+}
+
+// methodDecl finds the declaration of typeName's method (value or pointer
+// receiver).
+func methodDecl(p *load.Package, typeName, method string) *ast.FuncDecl {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != method || len(fd.Recv.List) == 0 {
+				continue
+			}
+			rt := fd.Recv.List[0].Type
+			if se, ok := rt.(*ast.StarExpr); ok {
+				rt = se.X
+			}
+			if id, ok := rt.(*ast.Ident); ok && id.Name == typeName {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// readSweep marks knobs whose field the declaring package reads outside
+// the hash method. A selector that is itself an assignment target does not
+// count — a knob only ever written is still dead.
+func (ex *extractor) readSweep() {
+	// Group knobs by owner package so each package walks once.
+	byOwner := make(map[string][]int)
+	for i, k := range ex.fact.Knobs {
+		byOwner[k.OwnerPkg] = append(byOwner[k.OwnerPkg], i)
+	}
+	for _, owner := range sortedKeysInt(byOwner) {
+		p := ex.byPath[owner]
+		if p == nil {
+			continue
+		}
+		want := make(map[types.Object]int)
+		for _, i := range byOwner[owner] {
+			if obj := ex.knobField[ex.fact.Knobs[i].Path]; obj != nil {
+				want[obj] = i
+			}
+		}
+		var hashRange [2]token.Pos
+		if owner == ex.fact.ConfigPkg && ex.fact.HashPos.IsValid() {
+			_, cfgName := splitKey(ex.cfg.ConfigStruct)
+			if d := methodDecl(p, cfgName, ex.cfg.HashMethod); d != nil {
+				hashRange = [2]token.Pos{d.Pos(), d.End()}
+			}
+		}
+		for _, f := range p.Files {
+			lhs := assignTargets(f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj := p.Info.Uses[sel.Sel]
+				i, tracked := want[obj]
+				if !tracked || lhs[sel] {
+					return true
+				}
+				if hashRange[1] != token.NoPos && sel.Pos() >= hashRange[0] && sel.Pos() < hashRange[1] {
+					return true
+				}
+				ex.fact.Knobs[i].Read = true
+				return true
+			})
+		}
+	}
+}
+
+// assignTargets collects every expression that appears as an assignment
+// LHS in the file, so the read sweep can tell stores from loads.
+func assignTargets(f *ast.File) map[ast.Expr]bool {
+	out := make(map[ast.Expr]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, l := range as.Lhs {
+				out[l] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// sortedSinkPaths orders a taint-walk result for deterministic wiring.
+func sortedSinkPaths(m map[string]map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeysInt(m map[string][]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// submit records the request struct's JSON fields and whether the serving
+// package reads each one.
+func (ex *extractor) submit() {
+	pkgPath, name := splitKey(ex.cfg.SubmitStruct)
+	p := ex.byPath[pkgPath]
+	if p == nil || name == "" {
+		return
+	}
+	ts := typeSpec(p, name)
+	if ts == nil {
+		return
+	}
+	st, ok := ts.Type.(*ast.StructType)
+	if !ok {
+		return
+	}
+	ex.fact.SubmitPkg = pkgPath
+	fieldObjs := make(map[types.Object]int)
+	for _, fl := range st.Fields.List {
+		for _, nm := range fl.Names {
+			if !nm.IsExported() {
+				continue
+			}
+			jn := jsonName(fl.Tag)
+			if jn == "" {
+				jn = nm.Name
+			}
+			ex.fact.Submit = append(ex.fact.Submit, SubmitField{
+				Name: nm.Name, JSON: jn, Pos: nm.Pos(), Pkg: pkgPath,
+			})
+			fieldObjs[p.Info.Defs[nm]] = len(ex.fact.Submit) - 1
+		}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if i, tracked := fieldObjs[p.Info.Uses[sel.Sel]]; tracked {
+				ex.fact.Submit[i].Used = true
+			}
+			return true
+		})
+	}
+}
+
+// wire runs the taint walks: flag registrations to Config sinks in
+// FlagsPkg, and request-field reads to Config sinks in the submit package.
+func (ex *extractor) wire() {
+	if len(ex.fact.Knobs) == 0 {
+		return
+	}
+	knobIdx := make(map[string]int, len(ex.fact.Knobs))
+	for i, k := range ex.fact.Knobs {
+		knobIdx[k.Path] = i
+	}
+	if p := ex.byPath[ex.cfg.FlagsPkg]; p != nil {
+		ex.fact.FlagsPkg = ex.cfg.FlagsPkg
+		sinks := ex.taintWalk(p, nil)
+		for _, path := range sortedSinkPaths(sinks) {
+			if i, ok := knobIdx[path]; ok {
+				ex.fact.Knobs[i].Flags = append(ex.fact.Knobs[i].Flags, sortedSet(sinks[path])...)
+			}
+		}
+	}
+	if ex.fact.SubmitPkg != "" {
+		p := ex.byPath[ex.fact.SubmitPkg]
+		_, submitName := splitKey(ex.cfg.SubmitStruct)
+		seeds := ex.submitSeeds(p, submitName)
+		sinks := ex.taintWalk(p, seeds)
+		for _, path := range sortedSinkPaths(sinks) {
+			if i, ok := knobIdx[path]; ok {
+				ex.fact.Knobs[i].JSONs = append(ex.fact.Knobs[i].JSONs, sortedSet(sinks[path])...)
+			}
+		}
+	}
+	for i := range ex.fact.Knobs {
+		sort.Strings(ex.fact.Knobs[i].Flags)
+		sort.Strings(ex.fact.Knobs[i].JSONs)
+	}
+}
+
+// submitSeeds maps each request-struct field object to its JSON name, the
+// taint sources of the serving package.
+func (ex *extractor) submitSeeds(p *load.Package, structName string) map[types.Object]string {
+	seeds := make(map[types.Object]string)
+	ts := typeSpec(p, structName)
+	if ts == nil {
+		return seeds
+	}
+	st, ok := ts.Type.(*ast.StructType)
+	if !ok {
+		return seeds
+	}
+	for _, fl := range st.Fields.List {
+		for _, nm := range fl.Names {
+			jn := jsonName(fl.Tag)
+			if jn == "" {
+				jn = nm.Name
+			}
+			seeds[p.Info.Defs[nm]] = jn
+		}
+	}
+	return seeds
+}
+
+// taintWalk propagates taint labels (flag names or JSON field names)
+// through the package's assignments to Config sinks. Intra-package,
+// flow-insensitive, iterated to a fixpoint: precise enough for wiring
+// code, which is straight-line plumbing by construction. Returns knob
+// path -> label set.
+func (ex *extractor) taintWalk(p *load.Package, seeds map[types.Object]string) map[string]map[string]bool {
+	taint := make(map[types.Object]map[string]bool)
+	eval := func(e ast.Expr) map[string]bool { return ex.exprTaint(p, e, taint, seeds) }
+	for changed := true; changed; {
+		changed = false
+		merge := func(obj types.Object, ts map[string]bool) {
+			if obj == nil || len(ts) == 0 {
+				return
+			}
+			cur := taint[obj]
+			if cur == nil {
+				cur = make(map[string]bool)
+				taint[obj] = cur
+			}
+			for _, l := range sortedSet(ts) {
+				if !cur[l] {
+					cur[l] = true
+					changed = true
+				}
+			}
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ValueSpec:
+					for i, nm := range n.Names {
+						if i < len(n.Values) {
+							merge(p.Info.Defs[nm], eval(n.Values[i]))
+						}
+					}
+				case *ast.AssignStmt:
+					// A multi-value RHS (pc, ok := Parse(x)) taints every
+					// LHS from the union of RHS taints; per-position pairs
+					// also land correctly under the same union.
+					var all map[string]bool
+					for _, r := range n.Rhs {
+						for _, l := range sortedSet(eval(r)) {
+							if all == nil {
+								all = make(map[string]bool)
+							}
+							all[l] = true
+						}
+					}
+					for _, l := range n.Lhs {
+						if id, ok := l.(*ast.Ident); ok {
+							obj := p.Info.Defs[id]
+							if obj == nil {
+								obj = p.Info.Uses[id]
+							}
+							merge(obj, all)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	sinks := make(map[string]map[string]bool)
+	add := func(path string, ts map[string]bool) {
+		if len(ts) == 0 {
+			return
+		}
+		cur := sinks[path]
+		if cur == nil {
+			cur = make(map[string]bool)
+			sinks[path] = cur
+		}
+		for l := range ts {
+			cur[l] = true
+		}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if ex.isConfigType(p.Info.Types[n].Type) {
+					ex.litSinks(p, n, "", add, taint, seeds)
+				}
+			case *ast.AssignStmt:
+				for i, l := range n.Lhs {
+					sel, ok := l.(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if path, ok := ex.configSelPath(p, sel); ok && i < len(n.Rhs) {
+						add(path, ex.exprTaint(p, n.Rhs[i], taint, seeds))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return sinks
+}
+
+// litSinks records the taints flowing into a Config composite literal,
+// recursing into nested struct literals with a dotted path prefix.
+func (ex *extractor) litSinks(p *load.Package, lit *ast.CompositeLit, prefix string, add func(string, map[string]bool), taint map[types.Object]map[string]bool, seeds map[types.Object]string) {
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		path := prefix + key.Name
+		if sub, ok := kv.Value.(*ast.CompositeLit); ok {
+			if t := p.Info.Types[sub].Type; t != nil {
+				if _, isStruct := t.Underlying().(*types.Struct); isStruct {
+					ex.litSinks(p, sub, path+".", add, taint, seeds)
+					continue
+				}
+			}
+		}
+		add(path, ex.exprTaint(p, kv.Value, taint, seeds))
+	}
+}
+
+// configSelPath renders an assignment target like cfg.CG.Tol as a knob
+// path when the chain is rooted at a variable of the Config type.
+func (ex *extractor) configSelPath(p *load.Package, sel *ast.SelectorExpr) (string, bool) {
+	var parts []string
+	expr := ast.Expr(sel)
+	for {
+		switch e := expr.(type) {
+		case *ast.SelectorExpr:
+			parts = append(parts, e.Sel.Name)
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.Ident:
+			if !ex.isConfigType(p.Info.Types[e].Type) {
+				return "", false
+			}
+			for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+				parts[i], parts[j] = parts[j], parts[i]
+			}
+			return strings.Join(parts, "."), true
+		default:
+			return "", false
+		}
+	}
+}
+
+// isConfigType reports whether t is the Config struct (pointer stripped),
+// compared by key string so source- and export-data views agree.
+func (ex *extractor) isConfigType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if pt, ok := t.(*types.Pointer); ok {
+		t = pt.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() != nil && typeKeyOf(n) == ex.cfg.ConfigStruct
+}
+
+// exprTaint computes the taint labels of one expression: flag.*
+// registration calls contribute their flag name, request-struct field
+// reads their JSON name, identifiers their accumulated taint; everything
+// else unions its children. Over-approximate on purpose — a label that
+// reaches any subexpression of the stored value counts as plumbed.
+func (ex *extractor) exprTaint(p *load.Package, e ast.Expr, taint map[types.Object]map[string]bool, seeds map[types.Object]string) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name, ok := flagName(p, n); ok {
+				out[name] = true
+			}
+		case *ast.Ident:
+			obj := p.Info.Uses[n]
+			if obj == nil {
+				obj = p.Info.Defs[n]
+			}
+			for l := range taint[obj] {
+				out[l] = true
+			}
+		case *ast.SelectorExpr:
+			if seeds != nil {
+				if jn, ok := seeds[p.Info.Uses[n.Sel]]; ok {
+					out[jn] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// flagName recognizes flag.String/Bool/... and flag.*Var registration
+// calls and returns the registered flag name.
+func flagName(p *load.Package, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	base, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := p.Info.Uses[base].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "flag" {
+		return "", false
+	}
+	method := sel.Sel.Name
+	nameArg := 0
+	if strings.HasSuffix(method, "Var") {
+		method = strings.TrimSuffix(method, "Var")
+		nameArg = 1
+	}
+	switch method {
+	case "String", "Bool", "Int", "Int64", "Uint", "Uint64", "Float64", "Duration":
+	default:
+		return "", false
+	}
+	if nameArg >= len(call.Args) {
+		return "", false
+	}
+	tv := p.Info.Types[call.Args[nameArg]]
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// enums extracts each enum type referenced by a knob: constants, the
+// String switch, the (string) (T, bool) parser, and the facade exports.
+func (ex *extractor) enums() {
+	keys := make(map[string]bool)
+	for _, k := range ex.fact.Knobs {
+		if k.Kind == "enum" {
+			keys[k.EnumType] = true
+		}
+	}
+	for _, key := range sortedSet(keys) {
+		pkgPath, name := splitKey(key)
+		p := ex.byPath[pkgPath]
+		if p == nil {
+			continue // enum's package not loaded from source: skip checks
+		}
+		obj, ok := p.Types.Scope().Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := obj.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		e := Enum{TypeKey: key, Pkg: pkgPath, Pos: obj.Pos()}
+		for _, c := range constsOf(named) {
+			e.Consts = append(e.Consts, EnumConst{
+				Name:   c.Name(),
+				Value:  c.Val().ExactString(),
+				Pos:    c.Pos(),
+				IsZero: isZeroConst(c),
+			})
+		}
+		ex.enumString(p, named, &e)
+		ex.enumParse(p, named, &e)
+		ex.enumFacade(named, &e)
+		ex.fact.Enums = append(ex.fact.Enums, e)
+	}
+}
+
+func isZeroConst(c *types.Const) bool {
+	switch c.Val().Kind() {
+	case constant.Int:
+		v, ok := constant.Int64Val(c.Val())
+		return ok && v == 0
+	case constant.String:
+		return constant.StringVal(c.Val()) == ""
+	}
+	return false
+}
+
+// enumString reads the String method as a switch over the receiver: each
+// case maps its constants to the returned literal; a default clause's
+// literal is attributed to the single uncovered constant. Any other shape
+// marks the map opaque.
+func (ex *extractor) enumString(p *load.Package, named *types.Named, e *Enum) {
+	decl := methodDecl(p, named.Obj().Name(), "String")
+	if decl == nil || decl.Body == nil {
+		return
+	}
+	e.HasString = true
+	e.StringPos = decl.Pos()
+	e.StringMap = make(map[string]string)
+	sw := soleSwitch(decl.Body)
+	if sw == nil {
+		e.StringOpaque = true
+		return
+	}
+	covered := make(map[string]bool)
+	var defaultTag string
+	hasDefault := false
+	for _, cl := range sw.Body.List {
+		cc := cl.(*ast.CaseClause)
+		tag, ok := soleReturnString(cc.Body)
+		if !ok {
+			e.StringOpaque = true
+			return
+		}
+		if cc.List == nil {
+			defaultTag, hasDefault = tag, true
+			continue
+		}
+		for _, cx := range cc.List {
+			id, ok := unparen(cx).(*ast.Ident)
+			if !ok {
+				e.StringOpaque = true
+				return
+			}
+			e.StringMap[id.Name] = tag
+			covered[id.Name] = true
+		}
+	}
+	if hasDefault {
+		var uncovered []string
+		for _, c := range e.Consts {
+			if !covered[c.Name] {
+				uncovered = append(uncovered, c.Name)
+			}
+		}
+		if len(uncovered) == 1 {
+			e.StringMap[uncovered[0]] = defaultTag
+		} else if len(uncovered) > 1 {
+			// Several constants share one printed form; the round-trip
+			// cannot hold for all of them, so don't pretend to know it.
+			e.StringOpaque = true
+		}
+	}
+}
+
+// enumParse finds a package function with signature func(string) (T, bool)
+// and reads its accepting switch cases.
+func (ex *extractor) enumParse(p *load.Package, named *types.Named, e *Enum) {
+	var decl *ast.FuncDecl
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil {
+				continue
+			}
+			obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := obj.Type().(*types.Signature)
+			if sig.Params().Len() != 1 || sig.Results().Len() != 2 {
+				continue
+			}
+			if b, ok := sig.Params().At(0).Type().(*types.Basic); !ok || b.Kind() != types.String {
+				continue
+			}
+			if !types.Identical(sig.Results().At(0).Type(), named) {
+				continue
+			}
+			if b, ok := sig.Results().At(1).Type().(*types.Basic); !ok || b.Kind() != types.Bool {
+				continue
+			}
+			decl = fd
+		}
+	}
+	if decl == nil || decl.Body == nil {
+		return
+	}
+	e.ParseName = decl.Name.Name
+	e.ParsePos = decl.Pos()
+	e.ParseMap = make(map[string]string)
+	sw := soleSwitch(decl.Body)
+	if sw == nil {
+		e.ParseOpaque = true
+		return
+	}
+	zeroName := ""
+	for _, c := range e.Consts {
+		if c.IsZero {
+			zeroName = c.Name
+			break
+		}
+	}
+	for _, cl := range sw.Body.List {
+		cc := cl.(*ast.CaseClause)
+		if cc.List == nil {
+			continue // default: the rejection path
+		}
+		constName, accepted, ok := parseReturn(cc.Body, zeroName)
+		if !ok {
+			e.ParseOpaque = true
+			return
+		}
+		if !accepted {
+			continue
+		}
+		for _, cx := range cc.List {
+			tv := p.Info.Types[cx]
+			if tv.Value == nil || tv.Value.Kind() != constant.String {
+				e.ParseOpaque = true
+				return
+			}
+			e.ParseMap[constant.StringVal(tv.Value)] = constName
+		}
+	}
+	if name, ok := e.ParseMap[""]; ok && name == zeroName && zeroName != "" {
+		e.ParseZeroEmpty = true
+	}
+}
+
+// enumFacade checks the public package re-exports the enum: a type name
+// aliasing it, its constant values, and a parse wrapper.
+func (ex *extractor) enumFacade(named *types.Named, e *Enum) {
+	p := ex.byPath[ex.cfg.FacadePkg]
+	if p == nil {
+		return
+	}
+	ex.fact.FacadePkg = ex.cfg.FacadePkg
+	e.FacadeConstValues = make(map[string]bool)
+	scope := p.Types.Scope()
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		if !obj.Exported() {
+			continue
+		}
+		switch o := obj.(type) {
+		case *types.TypeName:
+			if n, ok := o.Type().(*types.Named); ok && typeKeyOf(n) == e.TypeKey {
+				e.FacadeAliased = true
+			}
+		case *types.Const:
+			if n, ok := o.Type().(*types.Named); ok && typeKeyOf(n) == e.TypeKey {
+				e.FacadeConstValues[o.Val().ExactString()] = true
+			}
+		case *types.Func:
+			sig, ok := o.Type().(*types.Signature)
+			if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 2 {
+				continue
+			}
+			if b, ok := sig.Params().At(0).Type().(*types.Basic); !ok || b.Kind() != types.String {
+				continue
+			}
+			if n, ok := sig.Results().At(0).Type().(*types.Named); ok && typeKeyOf(n) == e.TypeKey {
+				if b, ok := sig.Results().At(1).Type().(*types.Basic); ok && b.Kind() == types.Bool {
+					e.FacadeParse = true
+				}
+			}
+		}
+	}
+}
+
+// soleSwitch returns the body's single switch statement, nil for any
+// other shape.
+func soleSwitch(body *ast.BlockStmt) *ast.SwitchStmt {
+	if len(body.List) != 1 {
+		return nil
+	}
+	sw, _ := body.List[0].(*ast.SwitchStmt)
+	if sw == nil || sw.Tag == nil {
+		return nil
+	}
+	return sw
+}
+
+// soleReturnString reads a case body of exactly `return "lit"`.
+func soleReturnString(body []ast.Stmt) (string, bool) {
+	if len(body) != 1 {
+		return "", false
+	}
+	ret, ok := body[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return "", false
+	}
+	lit, ok := unparen(ret.Results[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	return strings.Trim(lit.Value, `"`), true
+}
+
+// parseReturn reads a case body of exactly `return Const, true|false`,
+// mapping a literal 0 first result to the zero constant.
+func parseReturn(body []ast.Stmt, zeroName string) (constName string, accepted, ok bool) {
+	if len(body) != 1 {
+		return "", false, false
+	}
+	ret, rok := body[0].(*ast.ReturnStmt)
+	if !rok || len(ret.Results) != 2 {
+		return "", false, false
+	}
+	switch v := unparen(ret.Results[0]).(type) {
+	case *ast.Ident:
+		constName = v.Name
+	case *ast.SelectorExpr:
+		constName = v.Sel.Name
+	case *ast.BasicLit:
+		if v.Value != "0" || zeroName == "" {
+			return "", false, false
+		}
+		constName = zeroName
+	default:
+		return "", false, false
+	}
+	okID, iok := unparen(ret.Results[1]).(*ast.Ident)
+	if !iok || (okID.Name != "true" && okID.Name != "false") {
+		return "", false, false
+	}
+	return constName, okID.Name == "true", true
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

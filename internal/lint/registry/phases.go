@@ -1,0 +1,397 @@
+package registry
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/load"
+)
+
+// phaseName constrains what counts as a phase identifier in span and
+// waterfall literals, so labels like "place/step grid" (a span name with a
+// human suffix, not a phase) never enter a surface.
+var phaseName = regexp.MustCompile(`^[a-z0-9-]+$`)
+
+// phases extracts the canonical phase list from the iteration-stats struct
+// and every mirror surface named in the config.
+func (ex *extractor) phases() {
+	ex.canonPhases()
+	if !ex.fact.CanonOK {
+		return // no canonical list, no surfaces to compare against
+	}
+	ex.totalsSurface()
+	ex.spanSurface()
+	ex.keysFnSurface()
+	ex.eventsSurface()
+	ex.waterfallSurface()
+	ex.traceCheckSurface()
+}
+
+// canonPhases reads IterStruct's t_<phase>_ns JSON tags in declaration
+// order; underscores in the tag become dashes in the canonical name
+// (t_solve_x_ns -> solve-x).
+func (ex *extractor) canonPhases() {
+	pkgPath, name := splitKey(ex.cfg.IterStruct)
+	p := ex.byPath[pkgPath]
+	if p == nil || name == "" {
+		return
+	}
+	ts := typeSpec(p, name)
+	if ts == nil {
+		return
+	}
+	st, ok := ts.Type.(*ast.StructType)
+	if !ok {
+		return
+	}
+	for _, fl := range st.Fields.List {
+		jn := jsonName(fl.Tag)
+		if !strings.HasPrefix(jn, "t_") || !strings.HasSuffix(jn, "_ns") {
+			continue
+		}
+		phase := strings.ReplaceAll(strings.TrimSuffix(strings.TrimPrefix(jn, "t_"), "_ns"), "_", "-")
+		pos := fl.Pos()
+		if len(fl.Names) > 0 {
+			pos = fl.Names[0].Pos()
+		}
+		ex.fact.Canon = append(ex.fact.Canon, PhaseRef{Name: phase, Pos: pos})
+	}
+	ex.fact.CanonOK = len(ex.fact.Canon) > 0
+}
+
+// totalsSurface mirrors the canonical list onto TotalsStruct's exported
+// field names, kebab-cased (SolvePair -> solve-pair).
+func (ex *extractor) totalsSurface() {
+	pkgPath, name := splitKey(ex.cfg.TotalsStruct)
+	p := ex.byPath[pkgPath]
+	if p == nil || name == "" {
+		return
+	}
+	ts := typeSpec(p, name)
+	if ts == nil {
+		return
+	}
+	st, ok := ts.Type.(*ast.StructType)
+	if !ok {
+		return
+	}
+	s := Surface{Name: "totals", Pkg: pkgPath, Anchor: ts.Name.Pos()}
+	for _, fl := range st.Fields.List {
+		for _, nm := range fl.Names {
+			if nm.IsExported() {
+				s.Present = append(s.Present, PhaseRef{Name: kebab(nm.Name), Pos: nm.Pos()})
+			}
+		}
+	}
+	ex.fact.Surfaces = append(ex.fact.Surfaces, s)
+}
+
+// kebab converts a camel-case Go field name to its phase form:
+// SolvePair -> solve-pair.
+func kebab(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		if r >= 'A' && r <= 'Z' {
+			if i > 0 {
+				b.WriteByte('-')
+			}
+			r += 'a' - 'A'
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// spanSurface collects SpanPrefix+"<phase>" string literals anywhere in
+// SpanPkg. Literals whose suffix is not a bare phase name (spaces, label
+// text) are span labels, not phase mirrors, and are skipped.
+func (ex *extractor) spanSurface() {
+	p := ex.byPath[ex.cfg.SpanPkg]
+	if p == nil || ex.cfg.SpanPrefix == "" {
+		return
+	}
+	s := Surface{Name: "spans", Pkg: ex.cfg.SpanPkg}
+	seen := make(map[string]bool)
+	for _, f := range p.Files {
+		if s.Anchor == token.NoPos {
+			s.Anchor = f.Pos()
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			v := strings.Trim(lit.Value, `"`)
+			if !strings.HasPrefix(v, ex.cfg.SpanPrefix) {
+				return true
+			}
+			phase := strings.TrimPrefix(v, ex.cfg.SpanPrefix)
+			if !phaseName.MatchString(phase) || seen[phase] {
+				return true
+			}
+			seen[phase] = true
+			s.Present = append(s.Present, PhaseRef{Name: phase, Pos: lit.Pos()})
+			return true
+		})
+	}
+	ex.fact.Surfaces = append(ex.fact.Surfaces, s)
+}
+
+// keysFnSurface reads the string literals returned by the PhaseKeys
+// function, in order.
+func (ex *extractor) keysFnSurface() {
+	pkgPath, name := splitKey(ex.cfg.PhaseKeysFunc)
+	p := ex.byPath[pkgPath]
+	if p == nil || name == "" {
+		return
+	}
+	var decl *ast.FuncDecl
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == name {
+				decl = fd
+			}
+		}
+	}
+	if decl == nil || decl.Body == nil {
+		return
+	}
+	s := Surface{Name: "keysfn", Pkg: pkgPath, Anchor: decl.Name.Pos()}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		s.Present = append(s.Present, PhaseRef{Name: strings.Trim(lit.Value, `"`), Pos: lit.Pos()})
+		return true
+	})
+	ex.fact.Surfaces = append(ex.fact.Surfaces, s)
+}
+
+// eventsSurface mirrors the canonical list onto the streaming event
+// struct's <phase>_ns JSON tags; Collapse lets one aggregate field stand
+// in for several canonical phases.
+func (ex *extractor) eventsSurface() {
+	pkgPath, name := splitKey(ex.cfg.EventStruct)
+	p := ex.byPath[pkgPath]
+	if p == nil || name == "" {
+		return
+	}
+	ts := typeSpec(p, name)
+	if ts == nil {
+		return
+	}
+	st, ok := ts.Type.(*ast.StructType)
+	if !ok {
+		return
+	}
+	s := Surface{Name: "events", Pkg: pkgPath, Anchor: ts.Name.Pos(), Collapse: ex.cfg.EventCollapse}
+	for _, fl := range st.Fields.List {
+		jn := jsonName(fl.Tag)
+		if !strings.HasSuffix(jn, "_ns") {
+			continue
+		}
+		phase := strings.ReplaceAll(strings.TrimSuffix(jn, "_ns"), "_", "-")
+		pos := fl.Pos()
+		if len(fl.Names) > 0 {
+			pos = fl.Names[0].Pos()
+		}
+		s.Present = append(s.Present, PhaseRef{Name: phase, Pos: pos})
+	}
+	ex.fact.Surfaces = append(ex.fact.Surfaces, s)
+}
+
+// waterfallSurface collects WaterfallPrefix+"<phase>" literals in the
+// serving package, with the config's exempt list attached.
+func (ex *extractor) waterfallSurface() {
+	p := ex.byPath[ex.cfg.WaterfallPkg]
+	if p == nil || ex.cfg.WaterfallPrefix == "" {
+		return
+	}
+	s := Surface{Name: "waterfall", Pkg: ex.cfg.WaterfallPkg, Exempt: ex.cfg.WaterfallExempt}
+	seen := make(map[string]bool)
+	for _, f := range p.Files {
+		if s.Anchor == token.NoPos {
+			s.Anchor = f.Pos()
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			v := strings.Trim(lit.Value, `"`)
+			if !strings.HasPrefix(v, ex.cfg.WaterfallPrefix) {
+				return true
+			}
+			phase := strings.TrimPrefix(v, ex.cfg.WaterfallPrefix)
+			if !phaseName.MatchString(phase) || seen[phase] {
+				return true
+			}
+			seen[phase] = true
+			s.Present = append(s.Present, PhaseRef{Name: phase, Pos: lit.Pos()})
+			return true
+		})
+	}
+	ex.fact.Surfaces = append(ex.fact.Surfaces, s)
+}
+
+// traceCheckSurface reads the t_<phase>_ns keys of the trace-key allowlist
+// map literal.
+func (ex *extractor) traceCheckSurface() {
+	pkgPath, name := splitKey(ex.cfg.TraceCheckVar)
+	p := ex.byPath[pkgPath]
+	if p == nil || name == "" {
+		return
+	}
+	var spec *ast.ValueSpec
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, sp := range gd.Specs {
+				vs := sp.(*ast.ValueSpec)
+				for _, nm := range vs.Names {
+					if nm.Name == name {
+						spec = vs
+					}
+				}
+			}
+		}
+	}
+	if spec == nil || len(spec.Values) != 1 {
+		return
+	}
+	lit, ok := spec.Values[0].(*ast.CompositeLit)
+	if !ok {
+		return
+	}
+	s := Surface{Name: "tracecheck", Pkg: pkgPath, Anchor: spec.Names[0].Pos()}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		bl, ok := kv.Key.(*ast.BasicLit)
+		if !ok || bl.Kind != token.STRING {
+			continue
+		}
+		key := strings.Trim(bl.Value, `"`)
+		if !strings.HasPrefix(key, "t_") || !strings.HasSuffix(key, "_ns") {
+			continue
+		}
+		phase := strings.ReplaceAll(strings.TrimSuffix(strings.TrimPrefix(key, "t_"), "_ns"), "_", "-")
+		s.Present = append(s.Present, PhaseRef{Name: phase, Pos: bl.Pos()})
+	}
+	ex.fact.Surfaces = append(ex.fact.Surfaces, s)
+}
+
+// metrics collects every Counter/Gauge/Histogram registration on the
+// metrics registry type whose name argument is statically known — a
+// constant-folded string, or a binary concatenation whose leading operand
+// is a literal (the dynamic tail is a label suffix and drops out of the
+// family name anyway when it starts at '{').
+func (ex *extractor) metrics() {
+	if ex.cfg.MetricsType == "" {
+		return
+	}
+	for _, p := range ex.pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				kind := ""
+				switch sel.Sel.Name {
+				case "Counter":
+					kind = "counter"
+				case "Gauge":
+					kind = "gauge"
+				case "Histogram":
+					kind = "histogram"
+				default:
+					return true
+				}
+				if !ex.isMetricsRecv(p, sel.X) || len(call.Args) < 2 {
+					return true
+				}
+				name, exact := staticString(p, call.Args[0])
+				if name == "" {
+					return true
+				}
+				family := name
+				if i := strings.IndexByte(family, '{'); i >= 0 {
+					family = family[:i]
+				} else if !exact {
+					// "literal" + tag with no brace in the literal: the
+					// family boundary is unknowable statically; skip.
+					return true
+				}
+				help, _ := staticString(p, call.Args[1])
+				ex.fact.Metrics = append(ex.fact.Metrics, Metric{
+					Family: family,
+					Kind:   kind,
+					Help:   help,
+					Pkg:    p.ImportPath,
+					Pos:    call.Args[0].Pos(),
+				})
+				return true
+			})
+		}
+	}
+	sort.Slice(ex.fact.Metrics, func(i, j int) bool {
+		a, b := ex.fact.Metrics[i], ex.fact.Metrics[j]
+		if a.Family != b.Family {
+			return a.Family < b.Family
+		}
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		return a.Pos < b.Pos
+	})
+}
+
+// isMetricsRecv reports whether e's type is the configured metrics
+// registry type (pointer stripped).
+func (ex *extractor) isMetricsRecv(p *load.Package, e ast.Expr) bool {
+	t := p.Info.Types[e].Type
+	if t == nil {
+		return false
+	}
+	if pt, ok := t.(*types.Pointer); ok {
+		t = pt.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() != nil && typeKeyOf(n) == ex.cfg.MetricsType
+}
+
+// staticString evaluates e to a string when the type checker constant-
+// folded it (exact=true), or to the leading literal operand of a
+// concatenation chain (exact=false).
+func staticString(p *load.Package, e ast.Expr) (s string, exact bool) {
+	if tv := p.Info.Types[e]; tv.Value != nil && tv.Value.Kind() == constant.String {
+		return constant.StringVal(tv.Value), true
+	}
+	for {
+		be, ok := unparen(e).(*ast.BinaryExpr)
+		if !ok || be.Op != token.ADD {
+			break
+		}
+		e = be.X
+	}
+	if tv := p.Info.Types[unparen(e)]; tv.Value != nil && tv.Value.Kind() == constant.String {
+		return constant.StringVal(tv.Value), false
+	}
+	return "", false
+}

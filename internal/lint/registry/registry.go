@@ -1,0 +1,341 @@
+// Package registry recovers the repo's implicit contract schemas from the
+// typed AST, so analyzers can check them instead of humans re-deriving
+// them per PR. Three schemas are extracted in one pass over the loaded
+// packages:
+//
+//   - the knob registry: every field of the placement Config struct, with
+//     the command-line flags and HTTP JSON fields that flow into it (a
+//     taint walk from flag.* registrations and request-struct reads to
+//     Config composite literals), whether the config Hash method covers
+//     it, and whether the engine ever reads it;
+//   - the phase registry: the canonical per-transformation phase list (the
+//     IterStats t_<phase>_ns JSON tags) and every surface that must agree
+//     with it — PhaseTotals fields, span-name literals, the PhaseKeys
+//     function, serve's per-iteration event fields, serve's trace
+//     waterfall, and ktracecheck's trace-key allowlist;
+//   - the metric registry: every obsv metric registration with a
+//     statically known name, its kind and help text.
+//
+// The extracted Fact is exported into the analysis fact store under
+// GlobalKey; knobflow and phasereg load it like any other fact. Every
+// datum carries a token.Pos into the driver's shared FileSet plus the
+// import path of the package that owns it, so analyzers can anchor each
+// finding in exactly one package and render cross-package witnesses.
+//
+// Extraction is deliberately conservative: a surface whose package is not
+// among the loaded targets is marked unseen and analyzers skip its checks,
+// so running kvet on a package subset never manufactures "missing surface"
+// findings.
+package registry
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// GlobalKey is the store key the singleton Fact is exported under.
+const GlobalKey = "registry:global"
+
+// Config names the anchor points of the schemas. Every entry is a
+// "pkg/path.Name" key (or a bare import path); empty entries disable the
+// corresponding extraction.
+type Config struct {
+	// ConfigStruct is the knob-bearing struct ("repro/internal/place.Config").
+	ConfigStruct string
+	// HashMethod is the method of ConfigStruct digesting the algorithmic
+	// knobs ("Hash").
+	HashMethod string
+	// FlagsPkg is the package whose flag.* registrations must plumb every
+	// knob ("repro/cmd/kplace").
+	FlagsPkg string
+	// SubmitStruct is the HTTP request struct whose JSON fields must plumb
+	// every knob ("repro/internal/serve.SubmitRequest").
+	SubmitStruct string
+	// FacadePkg is the public package that must re-export every enum knob
+	// type, its constants and its parser ("repro").
+	FacadePkg string
+
+	// IterStruct is the per-iteration stats struct whose t_<phase>_ns JSON
+	// tags define the canonical phase list.
+	IterStruct string
+	// TotalsStruct is the per-run phase aggregate struct; its field names
+	// (kebab-cased) must match the canonical list.
+	TotalsStruct string
+	// SpanPkg/SpanPrefix locate per-phase span names: string literals in
+	// SpanPkg of the form SpanPrefix+"<phase>".
+	SpanPkg    string
+	SpanPrefix string
+	// PhaseKeysFunc is the function returning the canonical phase list as
+	// string literals.
+	PhaseKeysFunc string
+	// EventStruct is the streaming event struct; its *_ns JSON tags must
+	// cover the canonical list up to EventCollapse.
+	EventStruct string
+	// EventCollapse maps one event field to the set of canonical phases it
+	// aggregates (e.g. "solve" covering solve-x/solve-y/solve-pair).
+	EventCollapse map[string][]string
+	// WaterfallPkg/WaterfallPrefix locate the trace-waterfall span names;
+	// WaterfallExempt lists canonical phases deliberately absent there.
+	WaterfallPkg    string
+	WaterfallPrefix string
+	WaterfallExempt []string
+	// TraceCheckVar is the map variable holding the trace-key allowlist
+	// ("repro/cmd/ktracecheck.knownPhaseKeys"); its t_<phase>_ns keys must
+	// match the canonical list.
+	TraceCheckVar string
+
+	// MetricsType is the metrics registry type whose Counter/Gauge/
+	// Histogram registrations are collected ("repro/internal/obsv.Registry").
+	MetricsType string
+}
+
+// Knob is one Config field (nested struct fields appear with a dotted
+// path, e.g. "CG.Tol").
+type Knob struct {
+	Path string
+	// Pos is the field declaration; OwnerPkg the package declaring it
+	// (nested knobs belong to the nested struct's package).
+	Pos      token.Pos
+	OwnerPkg string
+	// Kind is "scalar", "enum" (named type with >= 2 typed constants) or
+	// "hook" (func/interface/pointer-valued fields, exempt from plumbing).
+	Kind string
+	// EnumType keys into Fact.Enums when Kind is "enum".
+	EnumType string
+	// Flags and JSONs are the flag names and request JSON fields whose
+	// values flow into this knob, sorted.
+	Flags []string
+	JSONs []string
+	// InHash reports the hash method reads the field (or a whole parent
+	// struct containing it).
+	InHash bool
+	// Read reports the declaring package reads the field outside the hash
+	// method — a knob nothing reads is dead weight.
+	Read bool
+}
+
+// EnumConst is one constant of an enum type.
+type EnumConst struct {
+	Name   string
+	Value  string // exact constant value, e.g. "0" or `"x"`
+	Pos    token.Pos
+	IsZero bool
+}
+
+// Enum describes one enum-like named type and its parse/print/facade
+// surfaces. The String and Parse maps are extracted from single-switch
+// method bodies; shapes the extractor cannot read set the Opaque flags and
+// analyzers skip the round-trip checks instead of guessing.
+type Enum struct {
+	TypeKey string // "pkg/path.Name"
+	Pkg     string
+	Pos     token.Pos
+	Consts  []EnumConst
+
+	HasString    bool
+	StringPos    token.Pos
+	StringMap    map[string]string // const name -> printed tag
+	StringOpaque bool
+
+	ParseName      string // func name, "" when no (string) (T, bool) parser exists
+	ParsePos       token.Pos
+	ParseMap       map[string]string // accepted tag -> const name (ok=true returns only)
+	ParseOpaque    bool
+	ParseZeroEmpty bool // Parse("") accepts and yields the zero constant
+
+	FacadeAliased     bool
+	FacadeConstValues map[string]bool // constant values re-exported by the facade
+	FacadeParse       bool
+}
+
+// SubmitField is one JSON field of the HTTP request struct.
+type SubmitField struct {
+	Name string
+	JSON string
+	Pos  token.Pos
+	Pkg  string
+	// Used reports the declaring package reads the field anywhere; an
+	// unread field is an orphan the API accepts and ignores.
+	Used bool
+}
+
+// PhaseRef is one phase name with the position witnessing it.
+type PhaseRef struct {
+	Name string
+	Pos  token.Pos
+}
+
+// Surface is one place the canonical phase list must be mirrored.
+type Surface struct {
+	// Name identifies the surface in diagnostics: "totals", "spans",
+	// "keysfn", "events", "waterfall", "tracecheck".
+	Name string
+	Pkg  string
+	// Anchor is where a missing-phase finding is reported (the struct,
+	// function or variable declaring the surface).
+	Anchor token.Pos
+	// Present lists the phases the surface carries, each with its own
+	// witness position.
+	Present []PhaseRef
+	// Exempt lists canonical phases deliberately absent here.
+	Exempt []string
+	// Collapse maps a surface entry to the canonical phases it aggregates.
+	Collapse map[string][]string
+}
+
+// Metric is one obsv metric registration with a statically known name.
+type Metric struct {
+	// Family is the metric name up to any '{' label brace.
+	Family string
+	Kind   string // "counter", "gauge", "histogram"
+	Help   string
+	Pkg    string
+	Pos    token.Pos
+}
+
+// Fact is the extracted contract registry, exported under GlobalKey.
+type Fact struct {
+	Knobs    []Knob
+	Enums    []Enum
+	Submit   []SubmitField
+	Canon    []PhaseRef // canonical phases, IterStruct tag order
+	CanonOK  bool       // IterStruct was found and parsed
+	Surfaces []Surface
+	Metrics  []Metric
+	// Seen marks the import paths loaded as targets; analyzers gate each
+	// surface check on its package being present.
+	Seen map[string]bool
+	// Anchor packages, for analyzers that self-select the reporting pass.
+	ConfigPkg string
+	SubmitPkg string
+	FlagsPkg  string
+	FacadePkg string
+	// HashPos is the hash method declaration, the witness for missing-
+	// from-hash findings. NoPos when the method was not found.
+	HashPos token.Pos
+}
+
+// AFact marks Fact as an analysis.Fact.
+func (*Fact) AFact() {}
+
+// Analyze extracts the registry from the loaded packages and exports it
+// into store under GlobalKey.
+func Analyze(pkgs []*load.Package, store analysis.FactStore, cfg Config) *Fact {
+	ex := &extractor{
+		cfg:    cfg,
+		byPath: make(map[string]*load.Package, len(pkgs)),
+		pkgs:   pkgs,
+		fact:   &Fact{Seen: make(map[string]bool, len(pkgs))},
+	}
+	for _, p := range pkgs {
+		ex.byPath[p.ImportPath] = p
+		ex.fact.Seen[p.ImportPath] = true
+	}
+	ex.knobs()
+	ex.submit()
+	ex.wire()
+	ex.enums()
+	ex.phases()
+	ex.metrics()
+	store.ExportObjectFact(GlobalKey, ex.fact)
+	return ex.fact
+}
+
+// extractor carries the in-flight state of one Analyze call.
+type extractor struct {
+	cfg    Config
+	pkgs   []*load.Package
+	byPath map[string]*load.Package
+	fact   *Fact
+	// knobField maps a knob path to its declaring field object, for the
+	// read sweep (objects are package-local, never exported in the Fact).
+	knobField map[string]types.Object
+}
+
+// splitKey separates "pkg/path.Name" at the last dot after the last slash.
+func splitKey(key string) (pkg, name string) {
+	i := strings.LastIndex(key, ".")
+	if i < 0 || i < strings.LastIndex(key, "/") {
+		return key, ""
+	}
+	return key[:i], key[i+1:]
+}
+
+// typeKeyOf renders a named type as its cross-package key.
+func typeKeyOf(n *types.Named) string {
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// typeSpec finds the AST declaration of a package-level type.
+func typeSpec(p *load.Package, name string) *ast.TypeSpec {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, s := range gd.Specs {
+				ts := s.(*ast.TypeSpec)
+				if ts.Name.Name == name {
+					return ts
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// jsonName extracts the JSON field name from a struct tag literal, "" when
+// untagged or explicitly skipped.
+func jsonName(tag *ast.BasicLit) string {
+	if tag == nil {
+		return ""
+	}
+	raw := strings.Trim(tag.Value, "`")
+	// reflect.StructTag without importing reflect: scan key:"value" pairs.
+	for raw != "" {
+		raw = strings.TrimLeft(raw, " ")
+		i := strings.Index(raw, `:"`)
+		if i < 0 {
+			break
+		}
+		key := raw[:i]
+		rest := raw[i+2:]
+		j := strings.Index(rest, `"`)
+		if j < 0 {
+			break
+		}
+		if key == "json" {
+			name, _, _ := strings.Cut(rest[:j], ",")
+			if name == "-" {
+				return ""
+			}
+			return name
+		}
+		raw = rest[j+1:]
+	}
+	return ""
+}
+
+// sortedSet renders a string set as a sorted slice.
+func sortedSet(m map[string]bool) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

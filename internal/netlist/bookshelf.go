@@ -341,12 +341,16 @@ func WriteBookshelf(nl *Netlist, nodes, nets, pl, scl io.Writer) error {
 		n := &nl.Nets[ni]
 		fmt.Fprintf(ew, "NetDegree : %d %s\n", n.Degree(), nameOr(n.Name, fmt.Sprintf("n%d", ni)))
 		for _, p := range n.Pins {
-			dir := "B"
+			var dir string
 			switch p.Dir {
 			case Input:
 				dir = "I"
 			case Output:
 				dir = "O"
+			default:
+				// Inout (and any future direction) exports as Bookshelf's
+				// bidirectional marker.
+				dir = "B"
 			}
 			fmt.Fprintf(ew, "\t%s %s : %g %g\n", bsName(nl, p.Cell), dir, p.Offset.X, p.Offset.Y)
 		}

@@ -53,16 +53,20 @@ func (c Config) Hash() string {
 // it from IterStats records (which have no "type" key), so line-oriented
 // consumers can dispatch on the first byte-cheap field.
 type RunMeta struct {
-	Type       string    `json:"type"` // always "meta"
-	Design     string    `json:"design"`
-	Cells      int       `json:"cells"`
-	Nets       int       `json:"nets"`
-	Movable    int       `json:"movable"`
-	Seed       int64     `json:"seed"`
-	K          float64   `json:"k"`
-	MaxIter    int       `json:"max_iter"`
-	ConfigHash string    `json:"config_hash"`
-	Start      time.Time `json:"start"`
+	Type       string  `json:"type"` // always "meta"
+	Design     string  `json:"design"`
+	Cells      int     `json:"cells"`
+	Nets       int     `json:"nets"`
+	Movable    int     `json:"movable"`
+	Seed       int64   `json:"seed"`
+	K          float64 `json:"k"`
+	MaxIter    int     `json:"max_iter"`
+	ConfigHash string  `json:"config_hash"`
+	// Phases is the canonical phase-key list (PhaseKeys) at record time,
+	// making traces self-describing: a checker can demand exactly these
+	// t_<phase>_ns keys without compiling against this package's version.
+	Phases []string  `json:"phases"`
+	Start  time.Time `json:"start"`
 }
 
 // NewRunMeta builds the header for a run of cfg on nl. The config is
@@ -80,6 +84,7 @@ func NewRunMeta(nl *netlist.Netlist, cfg Config, seed int64, start time.Time) Ru
 		K:          cfg.K,
 		MaxIter:    cfg.MaxIter,
 		ConfigHash: cfg.Hash(),
+		Phases:     PhaseKeys(),
 		Start:      start,
 	}
 }

@@ -77,6 +77,7 @@ type Config struct {
 	// MaxIter runs on large designs don't retain O(iterations) stats the
 	// caller never reads. Per-run aggregates (Result.Phases, HPWL,
 	// Overflow, Iterations) are still filled, and OnIteration still fires.
+	//lint:ignore knobflow library-only memory knob: callers that stream stats set it in code; it never changes the iteration sequence (excluded from Hash) and has no CLI/HTTP surface by design
 	NoTrace bool
 	// NoWarmStart disables seeding each transformation's CG solve with the
 	// previous transformation's displacement response. Cells move slowly
@@ -212,6 +213,11 @@ func (p *PhaseTotals) add(s IterStats) {
 	p.Step += s.TStep
 }
 
+// StopReason says why a run ended. The typed string keeps the value set
+// closed: every consumer switches or compares against the Stop* constants
+// below, and the JSON form stays the bare string.
+type StopReason string
+
 // Stop reasons reported in Result.StopReason. The first three end a run on
 // the algorithm's own terms; the last two are externally imposed. Because
 // any prefix of the iteration is a valid placement (§4's stopping criterion
@@ -220,26 +226,39 @@ func (p *PhaseTotals) add(s IterStats) {
 // the netlist and returns a nil error.
 const (
 	// StopCriterion is the paper's §4.2 empty-square rule.
-	StopCriterion = "criterion"
+	StopCriterion StopReason = "criterion"
 	// StopStagnation means no coarse-overflow progress for a window; the
 	// best placement seen is restored.
-	StopStagnation = "stagnation"
+	StopStagnation StopReason = "stagnation"
 	// StopMaxIter means Config.MaxIter transformations ran.
-	StopMaxIter = "max-iter"
+	StopMaxIter StopReason = "max-iter"
 	// StopCancelled means the run's context was cancelled between
 	// transformations.
-	StopCancelled = "cancelled"
+	StopCancelled StopReason = "cancelled"
 	// StopDeadline means the run's context deadline expired between
 	// transformations.
-	StopDeadline = "deadline"
+	StopDeadline StopReason = "deadline"
 )
 
 // stopReasonFor maps a context error to its stop reason.
-func stopReasonFor(err error) string {
+func stopReasonFor(err error) StopReason {
 	if errors.Is(err, context.DeadlineExceeded) {
 		return StopDeadline
 	}
 	return StopCancelled
+}
+
+// PhaseKeys returns the canonical per-transformation phase names, in
+// IterStats declaration order: the t_<phase>_ns trace keys with the t_/_ns
+// affixes stripped and underscores dashed. Every surface that breaks a
+// transformation down by phase (PhaseTotals, span names, serve events,
+// ktracecheck's allowlist) mirrors this list; kvet's phasereg analyzer
+// holds them to it.
+func PhaseKeys() []string {
+	return []string{
+		"weight", "gather", "field", "build",
+		"solve-x", "solve-y", "solve-pair", "step",
+	}
 }
 
 // Result summarizes a full run.
@@ -253,7 +272,7 @@ type Result struct {
 	// empty-square rule), "stagnation" (no coarse-overflow progress for a
 	// window), "max-iter", or the externally imposed "cancelled" /
 	// "deadline".
-	StopReason string
+	StopReason StopReason
 	HPWL       float64
 	Overflow   float64
 	Runtime    time.Duration

@@ -32,6 +32,33 @@ const (
 	Hybrid
 )
 
+// String names the model for logs and flags.
+func (m NetModel) String() string {
+	switch m {
+	case Star:
+		return "star"
+	case Hybrid:
+		return "hybrid"
+	default:
+		return "clique"
+	}
+}
+
+// ParseNetModel maps a flag/JSON value to a NetModel. The empty string is
+// the zero model (Clique), so an omitted field means the paper's default.
+func ParseNetModel(s string) (NetModel, bool) {
+	switch s {
+	case "clique", "":
+		return Clique, true
+	case "star":
+		return Star, true
+	case "hybrid":
+		return Hybrid, true
+	default:
+		return Clique, false
+	}
+}
+
 // Options controls system assembly.
 type Options struct {
 	// Linearize divides each clique edge weight by the current pin-to-pin

@@ -19,6 +19,7 @@ type Event struct {
 	// GapProxy is the distance to the paper's §4.2 stopping criterion
 	// (≤1 means met); see place.IterStats.
 	GapProxy float64 `json:"gap_proxy"`
+	WeightNS int64   `json:"weight_ns"`
 	GatherNS int64   `json:"gather_ns"`
 	FieldNS  int64   `json:"field_ns"`
 	BuildNS  int64   `json:"build_ns"`
@@ -47,6 +48,7 @@ func eventFrom(st place.IterStats) Event {
 		HPWL:     st.HPWL,
 		Overflow: st.Overflow,
 		GapProxy: st.GapProxy,
+		WeightNS: st.TWeight.Nanoseconds(),
 		GatherNS: st.TGather.Nanoseconds(),
 		FieldNS:  st.TField.Nanoseconds(),
 		BuildNS:  st.TBuild.Nanoseconds(),

@@ -13,6 +13,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/obsv"
 	"repro/internal/place"
+	"repro/internal/qp"
 	"repro/internal/sparse"
 )
 
@@ -35,6 +36,35 @@ type SubmitRequest struct {
 	// Field selects the density field solver: "auto", "direct", "fft",
 	// or "rfft" ("" → auto). Unknown values are a 400.
 	Field string `json:"field,omitempty"`
+	// GridBins is the density grid resolution per axis (0 → automatic
+	// from the design size).
+	GridBins int `json:"grid_bins,omitempty"`
+	// NoLinearize disables the net-weight linearization, making the
+	// solve purely quadratic.
+	NoLinearize bool `json:"no_linearize,omitempty"`
+	// NetModel selects the net decomposition: "clique" (or "", the
+	// paper's model), "star", or "hybrid". Unknown values are a 400.
+	NetModel string `json:"net_model,omitempty"`
+	// KeepPlacement starts from the submitted netlist's positions
+	// instead of gathering cells at the region center (ECO-style).
+	KeepPlacement bool `json:"keep_placement,omitempty"`
+	// StopSquareFactor is the §4.2 stopping-criterion multiple (0 →
+	// engine default 4).
+	StopSquareFactor float64 `json:"stop_square_factor,omitempty"`
+	// EmptyFrac is the empty-bin demand threshold (0 → engine
+	// default 0.25).
+	EmptyFrac float64 `json:"empty_frac,omitempty"`
+	// ForceFloor zeroes force increments below this fraction of the
+	// field maximum (0 → off).
+	ForceFloor float64 `json:"force_floor,omitempty"`
+	// CGTol is the CG solver's relative residual tolerance (0 → engine
+	// default 1e-6).
+	CGTol float64 `json:"cg_tol,omitempty"`
+	// CGMaxIter caps CG iterations per solve (0 → engine default).
+	CGMaxIter int `json:"cg_max_iter,omitempty"`
+	// Cold disables both the warm start and the iteration-reuse caches,
+	// reproducing the cold-path baseline.
+	Cold bool `json:"cold,omitempty"`
 }
 
 // SubmitResponse is the POST /jobs success body.
@@ -108,6 +138,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown field %q (want auto, direct, fft, or rfft)", req.Field)})
 		return
 	}
+	nm, ok := qp.ParseNetModel(req.NetModel)
+	if !ok {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("unknown net_model %q (want clique, star, or hybrid)", req.NetModel)})
+		return
+	}
 	// A malformed traceparent degrades to a fresh trace, never to a 4xx:
 	// observability must not fail requests.
 	parent, _ := obsv.ParseTraceParent(r.Header.Get("traceparent"))
@@ -115,8 +150,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Netlist: nl,
 		Config: place.Config{
 			K: req.K, MaxIter: req.MaxIter,
-			CG:          sparse.CGOptions{Precond: pc},
-			FieldMethod: fm,
+			GridBins:         req.GridBins,
+			NoLinearize:      req.NoLinearize,
+			NetModel:         nm,
+			KeepPlacement:    req.KeepPlacement,
+			StopSquareFactor: req.StopSquareFactor,
+			EmptyFrac:        req.EmptyFrac,
+			ForceFloor:       req.ForceFloor,
+			CG:               sparse.CGOptions{Tol: req.CGTol, MaxIter: req.CGMaxIter, Precond: pc},
+			FieldMethod:      fm,
+			NoWarmStart:      req.Cold,
+			NoReuse:          req.Cold,
 		},
 		Deadline: time.Duration(req.DeadlineMS) * time.Millisecond,
 		Trace:    parent,

@@ -134,10 +134,10 @@ type Status struct {
 	FinishedAt  time.Time `json:"finished_at"`
 	// Progress/result fields; updated live while running, final once the
 	// state is terminal.
-	Iterations int     `json:"iterations"`
-	HPWL       float64 `json:"hpwl"`
-	Overflow   float64 `json:"overflow"`
-	StopReason string  `json:"stop_reason,omitempty"`
+	Iterations int              `json:"iterations"`
+	HPWL       float64          `json:"hpwl"`
+	Overflow   float64          `json:"overflow"`
+	StopReason place.StopReason `json:"stop_reason,omitempty"`
 	// Checkpoint is the snapshot path written when the job was drained
 	// by Shutdown.
 	Checkpoint string `json:"checkpoint,omitempty"`
@@ -469,7 +469,7 @@ func (s *Server) runJob(j *Job, deadline time.Duration) {
 		}
 	}
 	runSpan.SetAttr("iterations", fmt.Sprint(res.Iterations))
-	runSpan.SetAttr("stop_reason", res.StopReason)
+	runSpan.SetAttr("stop_reason", string(res.StopReason))
 	runSpan.SetAttr("hpwl", fmt.Sprintf("%g", res.HPWL))
 	runSpan.End()
 	j.trace.Root().End()

@@ -46,6 +46,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/obsv"
 	"repro/internal/place"
+	"repro/internal/qp"
 	"repro/internal/serve"
 	"repro/internal/sparse"
 	"repro/internal/timing"
@@ -136,6 +137,8 @@ type (
 	IterStats = place.IterStats
 	// PhaseTotals accumulates per-phase time over a run.
 	PhaseTotals = place.PhaseTotals
+	// StopReason says why a run ended (one of the Stop* constants).
+	StopReason = place.StopReason
 )
 
 // Stop reasons a Result can report. Criterion, stagnation and max-iter
@@ -186,6 +189,22 @@ func ParsePreconditioner(s string) (Preconditioner, bool) { return sparse.ParseP
 // ParseFieldMethod maps "auto" (or ""), "direct", "fft", "rfft" to a
 // FieldMethod; ok is false for anything else.
 func ParseFieldMethod(s string) (FieldMethod, bool) { return density.ParseMethod(s) }
+
+// NetModel selects how a multi-pin net maps onto two-pin springs
+// (Config.NetModel).
+type NetModel = qp.NetModel
+
+// Net-model choices for Config.NetModel. NetClique is the paper's §2.1
+// model; NetStar and NetHybrid are ablation alternatives for wide nets.
+const (
+	NetClique = qp.Clique
+	NetStar   = qp.Star
+	NetHybrid = qp.Hybrid
+)
+
+// ParseNetModel maps "clique" (or ""), "star", "hybrid" to a NetModel; ok
+// is false for anything else.
+func ParseNetModel(s string) (NetModel, bool) { return qp.ParseNetModel(s) }
 
 // Global runs force-directed global placement on nl (§4.2), mutating cell
 // positions in place.
